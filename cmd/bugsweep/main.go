@@ -1,0 +1,36 @@
+// Command bugsweep regenerates the paper's detection studies: the Juliet
+// suite (Table 3), the Linux Flaw Project CVEs (Table 4) and the Magma
+// redzone study (Table 5).
+//
+// Usage:
+//
+//	bugsweep -suite juliet
+//	bugsweep -suite flaws
+//	bugsweep -suite magma
+//	bugsweep -suite all
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"giantsan/internal/bench"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "suite: juliet, flaws, magma, all")
+	flag.Parse()
+
+	if *suite == "all" || *suite == "juliet" {
+		fmt.Println("Table 3 — detection capability on the Juliet-like suite")
+		fmt.Println(bench.RenderTable3())
+	}
+	if *suite == "all" || *suite == "flaws" {
+		fmt.Println("Table 4 — detection capability for Linux Flaw Project CVEs")
+		fmt.Println(bench.RenderTable4())
+	}
+	if *suite == "all" || *suite == "magma" {
+		fmt.Println("Table 5 — detection under redzone settings (Magma-like corpus)")
+		fmt.Println(bench.RenderTable5())
+	}
+}

@@ -1,0 +1,113 @@
+// Command giantbench regenerates the paper's performance tables and
+// figures: Table 2 (with the ablation columns), Figure 10 and Figure 11.
+//
+// Usage:
+//
+//	giantbench -exp table2 [-scale N] [-reps N]
+//	giantbench -exp ablation
+//	giantbench -exp fig10
+//	giantbench -exp fig11
+//	giantbench -exp all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"giantsan/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, all")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (table2, ablation, fig10)")
+	flag.Parse()
+
+	emitJSON := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "giantbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table2", func() error {
+		rows, err := bench.Table2(*scale, *reps, false)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emitJSON(struct {
+				Rows     []bench.Table2Row  `json:"rows"`
+				GeoMeans map[string]float64 `json:"geoMeans"`
+			}{rows, bench.GeoMeans(rows)})
+		}
+		fmt.Println("Table 2 — runtime overhead vs native (SPEC-like kernels)")
+		fmt.Println(bench.RenderTable2(rows, false))
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := bench.Table2(*scale, *reps, true)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emitJSON(struct {
+				Rows     []bench.Table2Row  `json:"rows"`
+				GeoMeans map[string]float64 `json:"geoMeans"`
+			}{rows, bench.GeoMeans(rows)})
+		}
+		fmt.Println("Table 2 (ablation) — CacheOnly / EliminationOnly columns")
+		fmt.Println(bench.RenderTable2(rows, true))
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := bench.Fig10(*scale)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emitJSON(rows)
+		}
+		fmt.Println("Figure 10 — proportion of memory instructions per protection category")
+		fmt.Println(bench.RenderFig10(rows))
+		return nil
+	})
+	run("redzone", func() error {
+		rows, err := bench.RedzoneAblation(*scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Redzone trade-off (§4.4.1) — time and live-population footprint")
+		fmt.Println(bench.RenderRedzone(rows))
+		return nil
+	})
+	run("quarantine", func() error {
+		rows, err := bench.QuarantineAblation([]uint64{96, 960, 9600, 96000, 1 << 20}, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Quarantine-bypass study (§5.4) — dangling-pointer detection vs budget")
+		fmt.Println(bench.RenderQuarantine(rows))
+		return nil
+	})
+	run("fig11", func() error {
+		pts, err := bench.Fig11([]uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}, 50**reps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig11(pts))
+		return nil
+	})
+}

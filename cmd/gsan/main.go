@@ -1,0 +1,169 @@
+// Command gsan runs one SPEC-like workload under one sanitizer and prints
+// the run's error reports and counters — the closest thing to "running a
+// binary under the sanitizer" the simulation offers. It can also record a
+// run to a portable memory-operation trace and replay traces under any
+// sanitizer.
+//
+// Usage:
+//
+//	gsan -workload 505.mcf_r -san giantsan [-scale N]
+//	gsan -workload 505.mcf_r -record run.trace
+//	gsan -replay run.trace -san asan
+//	gsan -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"giantsan/internal/bench"
+	"giantsan/internal/instrument"
+	"giantsan/internal/interp"
+	"giantsan/internal/lfp"
+	"giantsan/internal/rt"
+	"giantsan/internal/trace"
+	"giantsan/internal/workload"
+)
+
+func main() {
+	id := flag.String("workload", "505.mcf_r", "workload ID (see -list)")
+	sanName := flag.String("san", "giantsan", "sanitizer: native, giantsan, asan, asan--, lfp, cacheonly, elimonly")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	list := flag.Bool("list", false, "list workload IDs and exit")
+	record := flag.String("record", "", "record the run to a trace file")
+	replay := flag.String("replay", "", "replay a trace file instead of running a workload")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Println(w.ID)
+		}
+		return
+	}
+	if *replay != "" {
+		replayTrace(*replay, *sanName)
+		return
+	}
+	if *record != "" {
+		recordRun(*id, *scale, *record)
+		return
+	}
+	w := workload.ByID(*id)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "gsan: unknown workload %q (try -list)\n", *id)
+		os.Exit(2)
+	}
+	var cfg *bench.SanConfig
+	for _, c := range bench.Configs() {
+		if c.Label == *sanName {
+			c := c
+			cfg = &c
+		}
+	}
+	if cfg == nil {
+		fmt.Fprintf(os.Stderr, "gsan: unknown sanitizer %q\n", *sanName)
+		os.Exit(2)
+	}
+
+	elapsed, res, err := bench.RunOnce(w, *cfg, *scale)
+	if err != nil {
+		// Workloads are clean; err means reports were raised — print them.
+		fmt.Printf("%v\n", err)
+	}
+	fmt.Printf("workload   %s (scale %d)\n", w.ID, *scale)
+	fmt.Printf("sanitizer  %s\n", cfg.Label)
+	fmt.Printf("time       %v\n", elapsed)
+	s := res.Stats
+	fmt.Printf("accesses   %d (eliminated %d, cached %d, direct %d)\n",
+		s.Accesses, s.Eliminated, s.Cached, s.Direct)
+	fmt.Printf("checks     %d (%d range, fast %d, slow %d)\n",
+		res.San.Checks, res.San.RangeChecks, res.San.FastChecks, res.San.SlowChecks)
+	fmt.Printf("metadata   %d shadow loads, %d cache hits, %d refills\n",
+		res.San.ShadowLoads, res.San.CacheHits, res.San.CacheRefills)
+	fmt.Printf("checksum   %#x\n", res.Checksum)
+	fmt.Printf("errors     %d\n", res.Errors.Total())
+	for i, e := range res.Errors.Errors {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", res.Errors.Total()-10)
+			break
+		}
+		fmt.Printf("  %v\n", e)
+	}
+}
+
+// recordRun executes the workload under GiantSan with a trace recorder
+// attached and writes the trace to path.
+func recordRun(id string, scale int, path string) {
+	w := workload.ByID(id)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "gsan: unknown workload %q\n", id)
+		os.Exit(2)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsan:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tw := trace.NewWriter(f)
+	inner := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: w.HeapBytes * uint64(scale)})
+	rec := trace.NewRecorder(inner, tw)
+	ex, err := interp.Prepare(w.Build(scale), instrument.GiantSanProfile, rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsan:", err)
+		os.Exit(1)
+	}
+	res := ex.Run()
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsan:", err)
+		os.Exit(1)
+	}
+	if rec.Err() != nil {
+		fmt.Fprintln(os.Stderr, "gsan: recording:", rec.Err())
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %s (%d accesses, %d errors) to %s\n",
+		id, res.Stats.Accesses, res.Errors.Total(), path)
+}
+
+// replayTrace replays a trace file under the named sanitizer.
+func replayTrace(path, sanName string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsan:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var run rt.Runtime
+	anchored := false
+	switch sanName {
+	case "giantsan":
+		run = rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 64 << 20})
+		anchored = true
+	case "asan":
+		run = rt.New(rt.Config{Kind: rt.ASan, HeapBytes: 64 << 20})
+	case "asan--":
+		run = rt.New(rt.Config{Kind: rt.ASanMinus, HeapBytes: 64 << 20})
+	case "lfp":
+		run = lfp.New(lfp.Config{HeapBytes: 64 << 20, MaxClass: 1 << 20})
+		anchored = true
+	default:
+		fmt.Fprintf(os.Stderr, "gsan: cannot replay under %q\n", sanName)
+		os.Exit(2)
+	}
+	res, err := trace.Replay(f, run, anchored)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsan:", err)
+		os.Exit(1)
+	}
+	st := run.San().Stats()
+	fmt.Printf("replayed %d events under %s: %d errors, %d checks, %d shadow loads\n",
+		res.Events, sanName, res.Errors.Total(), st.Checks, st.ShadowLoads)
+	for i, e := range res.Errors.Errors {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %v\n", e)
+	}
+}

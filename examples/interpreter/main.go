@@ -1,0 +1,86 @@
+// Interpreter: a tiny byte-code VM whose memory is fully guarded by the
+// public API — the perlbench-style workload the paper's history caching
+// (§4.3) was designed for.
+//
+// The VM runs a register machine over a simulated tape:
+//
+//	opcode 0: tape[ptr] += reg
+//	opcode 1: reg = tape[ptr]
+//	opcode 2: ptr = (ptr + reg) mod tapeLen   (data-dependent movement!)
+//	opcode 3: reg ^= pc
+//
+// Every tape access goes through a Cursor (quasi-bound), so the
+// data-dependent pointer movement that defeats static loop analysis still
+// costs almost no metadata loads. The program ends with an out-of-bounds
+// "bug" to show detection inside a cached loop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"giantsan"
+)
+
+func main() {
+	d := giantsan.New(giantsan.Config{})
+
+	const tapeLen = 8 << 10
+	const codeLen = 4 << 10
+
+	tape, err := d.Malloc(tapeLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := d.Malloc(codeLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "Load" a program: opcode stream derived from a tiny PRNG.
+	rng := uint64(0x1234567)
+	for i := int64(0); i < codeLen; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		d.Write(code, i, 1, rng&3)
+	}
+
+	// Execute with cursors guarding both buffers.
+	codeCur := d.NewCursor(code)
+	tapeCur := d.NewCursor(tape)
+	var reg, ptr uint64
+	for pc := int64(0); pc < codeLen; pc++ {
+		op, ok := codeCur.Read(pc, 1)
+		if !ok {
+			log.Fatalf("code fetch failed at pc=%d", pc)
+		}
+		switch op {
+		case 0:
+			v, _ := tapeCur.Read(int64(ptr), 8)
+			tapeCur.Write(int64(ptr), 8, v+reg)
+		case 1:
+			reg, _ = tapeCur.Read(int64(ptr), 8)
+		case 2:
+			ptr = (ptr + reg) % (tapeLen - 8)
+			ptr &^= 7
+		case 3:
+			reg ^= uint64(pc)
+		}
+	}
+	codeCur.Close()
+	tapeCur.Close()
+
+	st := d.Stats()
+	fmt.Printf("executed %d opcodes\n", codeLen)
+	fmt.Printf("checks=%d cacheHits=%d refills=%d shadowLoads=%d\n",
+		st.Checks, st.CacheHits, st.CacheRefills, st.ShadowLoads)
+	fmt.Printf("(the quasi-bound turned ~%d%% of checks into zero-load hits)\n",
+		100*st.CacheHits/st.Checks)
+
+	// The planted bug: an interpreter escape writing past the tape.
+	bugCur := d.NewCursor(tape)
+	if !bugCur.Write(tapeLen+8, 8, 0x41414141) {
+		fmt.Println("escape blocked:", d.Errors()[0])
+	}
+	bugCur.Close()
+}

@@ -1,0 +1,70 @@
+// Parser: a key=value config parser whose working memory lives entirely
+// on the simulated heap — the class of code (PHP, libxml2, poppler) the
+// paper's Magma study draws its bugs from. The parser has a planted
+// vulnerability: a key longer than the fixed key buffer overflows it,
+// exactly the CVE-2018-14883 shape whose detection separates the tools in
+// Table 5.
+//
+// Run it to see GiantSan catch the overflow on the malicious input while
+// the benign input parses cleanly.
+package main
+
+import (
+	"fmt"
+
+	"giantsan"
+)
+
+const keyBufSize = 16
+
+// parse tokenizes input into the simulated key buffer, returning the
+// number of pairs parsed. The bug: no bounds check on the key length.
+func parse(d *giantsan.Detector, input string) int {
+	keyBuf, err := d.Malloc(keyBufSize)
+	if err != nil {
+		panic(err)
+	}
+	valBuf, _ := d.Malloc(64)
+	pairs := 0
+	cur := d.NewCursor(keyBuf)
+	pos := 0
+	for pos < len(input) {
+		// Copy the key until '=' — the missing length check.
+		k := 0
+		for pos < len(input) && input[pos] != '=' {
+			cur.Write(int64(k), 1, uint64(input[pos])) // may overflow keyBuf!
+			k++
+			pos++
+		}
+		pos++ // '='
+		v := 0
+		for pos < len(input) && input[pos] != '\n' {
+			d.Write(valBuf, int64(v), 1, uint64(input[pos]))
+			v++
+			pos++
+		}
+		pos++ // '\n'
+		pairs++
+	}
+	cur.Close()
+	d.Free(keyBuf)
+	d.Free(valBuf)
+	return pairs
+}
+
+func main() {
+	benign := "host=localhost\nport=8080\nuser=alice\n"
+	malicious := "host=localhost\nAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA=pwned\n"
+
+	d := giantsan.New(giantsan.Config{})
+	pairs := parse(d, benign)
+	fmt.Printf("benign config: %d pairs, %d errors\n", pairs, d.ErrorCount())
+
+	d2 := giantsan.New(giantsan.Config{})
+	pairs = parse(d2, malicious)
+	fmt.Printf("malicious config: %d pairs, %d errors\n", pairs, d2.ErrorCount())
+	if errs := d2.Errors(); len(errs) > 0 {
+		fmt.Println("first report:", errs[0])
+		fmt.Print(d2.ShadowDump(errs[0].Addr))
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: allocate, catch an overflow, catch a use-after-free — the
+// 30-line tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"giantsan"
+)
+
+func main() {
+	d := giantsan.New(giantsan.Config{}) // GiantSan, paper defaults
+
+	buf, err := d.Malloc(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// In-bounds accesses work like normal memory.
+	d.Write(buf, 0, 8, 0xdeadbeef)
+	v, _ := d.Read(buf, 0, 8)
+	fmt.Printf("read back %#x\n", v)
+
+	// One byte past the end: detected and suppressed.
+	if !d.Write(buf, 100, 1, 0xFF) {
+		fmt.Println("overflow blocked:", d.Errors()[0])
+	}
+
+	// Temporal error: the freed region is quarantined and poisoned.
+	d.Free(buf)
+	if _, ok := d.Read(buf, 0, 8); !ok {
+		fmt.Println("dangling read blocked:", d.Errors()[1])
+	}
+
+	st := d.Stats()
+	fmt.Printf("checks=%d shadowLoads=%d errors=%d\n", st.Checks, st.ShadowLoads, st.Errors)
+}

@@ -1,0 +1,44 @@
+// Traversal: the Figure 11 limitation study as a runnable demo. Walks a
+// buffer forward, randomly and in reverse under native / GiantSan / ASan
+// and prints the per-pass times plus the quasi-bound counters that explain
+// them (§4.3, §5.4).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"giantsan/internal/traversal"
+)
+
+func main() {
+	const bufBytes = 16 << 10
+	const reps = 200
+
+	fmt.Printf("traversing a %d KiB buffer, %d passes per point\n\n", bufBytes>>10, reps)
+	for _, pattern := range traversal.Patterns() {
+		fmt.Printf("%s traversal:\n", pattern)
+		times := map[traversal.Mode]time.Duration{}
+		for _, mode := range traversal.Modes() {
+			h, err := traversal.New(mode, pattern, bufBytes)
+			if err != nil {
+				panic(err)
+			}
+			h.Traverse() // warm up / converge the quasi-bound
+			loads0 := h.Stats().ShadowLoads
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				h.Traverse()
+			}
+			perPass := time.Since(start) / reps
+			loads := (h.Stats().ShadowLoads - loads0) / reps
+			times[mode] = perPass
+			fmt.Printf("  %-9s %10v/pass   %6d shadow loads/pass\n", mode, perPass, loads)
+		}
+		fmt.Printf("  GiantSan/ASan = %.2fx\n\n",
+			float64(times[traversal.GiantSan])/float64(times[traversal.ASan]))
+	}
+	fmt.Println("forward/random: the quasi-bound absorbs almost every check;")
+	fmt.Println("reverse: each dereference re-anchors the cache (no quasi-lower-")
+	fmt.Println("bound exists), so GiantSan pays more than ASan — the paper's §5.4.")
+}

@@ -1,0 +1,248 @@
+package giantsan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	d := New(Config{})
+	buf, err := d.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Write(buf, 0, 8, 42) {
+		t.Fatal("in-bounds write refused")
+	}
+	if v, ok := d.Read(buf, 0, 8); !ok || v != 42 {
+		t.Fatalf("Read = %d,%v", v, ok)
+	}
+	if d.Write(buf, 100, 1, 0xFF) {
+		t.Fatal("overflow write allowed")
+	}
+	errs := d.Errors()
+	if len(errs) != 1 || errs[0].Kind != "heap-buffer-overflow" || !errs[0].Spatial {
+		t.Fatalf("errors: %v", errs)
+	}
+	d.Free(buf)
+	if _, ok := d.Read(buf, 0, 8); ok {
+		t.Fatal("use-after-free read allowed")
+	}
+	if d.ErrorCount() != 2 {
+		t.Fatalf("ErrorCount = %d", d.ErrorCount())
+	}
+}
+
+func TestEveryToolDetectsBasicOverflow(t *testing.T) {
+	for _, tl := range []Tool{GiantSan, ASan, ASanMinus, LFP} {
+		d := New(Config{Tool: tl})
+		// 64 is class-exact, so even LFP catches the off-by-one.
+		buf, err := d.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Write(buf, 64, 1, 0)
+		if d.ErrorCount() != 1 {
+			t.Errorf("%v: overflow not detected", tl)
+		}
+	}
+}
+
+func TestAnchoredVsUnanchored(t *testing.T) {
+	// Two adjacent allocations: a far overflow from the first lands in
+	// the second. GiantSan (anchored) detects; ASan does not.
+	mk := func(tl Tool) *Detector {
+		d := New(Config{Tool: tl})
+		a, _ := d.Malloc(64)
+		d.Malloc(4096)
+		d.Write(a, 256, 8, 1)
+		return d
+	}
+	if mk(GiantSan).ErrorCount() == 0 {
+		t.Error("GiantSan missed the redzone bypass")
+	}
+	if mk(ASan).ErrorCount() != 0 {
+		t.Error("ASan unexpectedly caught the bypass (layout changed?)")
+	}
+}
+
+func TestCursorCachesAndFinishes(t *testing.T) {
+	d := New(Config{})
+	buf, _ := d.Malloc(4096)
+	cur := d.NewCursor(buf)
+	before := d.Stats()
+	for off := int64(0); off < 4096; off += 8 {
+		if _, ok := cur.Read(off, 8); !ok {
+			t.Fatalf("cursor read failed at %d", off)
+		}
+	}
+	after := d.Stats()
+	if hits := after.CacheHits - before.CacheHits; hits < 400 {
+		t.Errorf("cache hits = %d, want most of 512 accesses", hits)
+	}
+	if loads := after.ShadowLoads - before.ShadowLoads; loads > 64 {
+		t.Errorf("shadow loads = %d, want logarithmic", loads)
+	}
+	// Free mid-"loop", then Close must catch it.
+	d.Free(buf)
+	cur.Close()
+	found := false
+	for _, e := range d.Errors() {
+		if e.Kind == "heap-use-after-free" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Close missed the mid-loop free")
+	}
+	if _, ok := cur.Read(0, 8); ok {
+		t.Error("closed cursor still reads")
+	}
+}
+
+func TestFillOperationLevel(t *testing.T) {
+	d := New(Config{})
+	buf, _ := d.Malloc(64 << 10)
+	before := d.Stats()
+	if !d.Fill(buf, 0, 64<<10, 0xAA) {
+		t.Fatal("valid fill refused")
+	}
+	if loads := d.Stats().ShadowLoads - before.ShadowLoads; loads > 4 {
+		t.Errorf("64KiB fill cost %d loads; the O(1) region check should need ≤ 4", loads)
+	}
+	if v, _ := d.Read(buf, 1000, 1); v != 0xAA {
+		t.Error("fill did not write")
+	}
+	if d.Fill(buf, 0, 64<<10+1, 0) {
+		t.Error("overflowing fill allowed")
+	}
+}
+
+func TestStackLifecycle(t *testing.T) {
+	d := New(Config{})
+	d.PushFrame()
+	local := d.Alloca(32)
+	if !d.Write(local, 0, 8, 7) {
+		t.Fatal("stack write refused")
+	}
+	d.Write(local, 32, 1, 0)
+	if d.ErrorCount() != 1 {
+		t.Error("stack overflow missed")
+	}
+	d.PopFrame()
+}
+
+func TestUseAfterReturn(t *testing.T) {
+	d := New(Config{DetectUseAfterReturn: true})
+	d.PushFrame()
+	local := d.Alloca(32)
+	d.PopFrame()
+	if _, ok := d.Read(local, 0, 8); ok {
+		t.Error("use-after-return read allowed")
+	}
+	errs := d.Errors()
+	if len(errs) != 1 || errs[0].Kind != "stack-use-after-return" {
+		t.Errorf("errors: %v", errs)
+	}
+}
+
+func TestDoubleFreeAndInvalidFree(t *testing.T) {
+	d := New(Config{})
+	p, _ := d.Malloc(16)
+	d.Free(p)
+	d.Free(p)
+	d.Free(p + 4)
+	errs := d.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if errs[0].Kind != "attempting-double-free" || !errs[0].Temporal {
+		t.Errorf("first: %v", errs[0])
+	}
+	if !strings.Contains(errs[1].Kind, "free") {
+		t.Errorf("second: %v", errs[1])
+	}
+}
+
+func TestErrorDetailAnnotation(t *testing.T) {
+	d := New(Config{})
+	buf, _ := d.Malloc(100)
+	d.Write(buf, 104, 1, 0) // into the right redzone proper
+	errs := d.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if !strings.Contains(errs[0].Detail, "to the right of 100-byte region") {
+		t.Errorf("Detail = %q", errs[0].Detail)
+	}
+	if !strings.Contains(errs[0].String(), errs[0].Detail) {
+		t.Error("String should include Detail")
+	}
+}
+
+func TestParseTool(t *testing.T) {
+	for _, name := range []string{"giantsan", "asan", "asan--", "lfp"} {
+		tl, err := ParseTool(name)
+		if err != nil || tl.String() != name {
+			t.Errorf("ParseTool(%q) = %v, %v", name, tl, err)
+		}
+	}
+	if _, err := ParseTool("msan"); err == nil {
+		t.Error("unknown tool accepted")
+	}
+}
+
+func TestResetErrors(t *testing.T) {
+	d := New(Config{})
+	p, _ := d.Malloc(8)
+	d.Write(p, 8, 1, 0)
+	if d.ErrorCount() == 0 {
+		t.Fatal("no error to reset")
+	}
+	d.ResetErrors()
+	if d.ErrorCount() != 0 || len(d.Errors()) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRealloc(t *testing.T) {
+	d := New(Config{})
+	p, _ := d.Malloc(32)
+	d.Write(p, 0, 8, 77)
+	np, err := d.Realloc(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Read(np, 0, 8); !ok || v != 77 {
+		t.Errorf("moved contents: %d,%v", v, ok)
+	}
+	// The stale pointer is now a detectable dangle.
+	if _, ok := d.Read(p, 0, 8); ok {
+		t.Error("stale pointer readable after realloc")
+	}
+	// LFP has no realloc in this reproduction.
+	if _, err := New(Config{Tool: LFP}).Realloc(1, 8); err == nil {
+		t.Error("LFP realloc should be unsupported")
+	}
+}
+
+func TestShadowDump(t *testing.T) {
+	d := New(Config{})
+	buf, _ := d.Malloc(68)
+	dump := d.ShadowDump(buf)
+	for _, want := range []string{"Shadow bytes", "Legend", "p4"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+	if New(Config{Tool: ASan}).ShadowDump(buf) != "" {
+		t.Error("non-GiantSan dump should be empty")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := Error{Kind: "heap-buffer-overflow", Op: "WRITE", Addr: 0x1000, Size: 4}
+	if !strings.Contains(e.String(), "heap-buffer-overflow") || !strings.Contains(e.String(), "0x1000") {
+		t.Errorf("String = %q", e.String())
+	}
+}

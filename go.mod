@@ -1,0 +1,3 @@
+module giantsan
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package analysis implements the compile-time analyses the paper's
+// instrumentation relies on (§4.4, Table 1):
+//
+//   - constant propagation: accesses at constant offsets off a shared base,
+//   - must-alias grouping: runs of such accesses in straight-line code that
+//     provably address the same object,
+//   - SCEV-style loop analysis: affine subscripts inside counted loops,
+//   - barrier detection: frees, opaque calls and base reassignments that
+//     invalidate hoisting an access's check out of its loop.
+//
+// The analyses are intra-procedural and flow over the ir.Prog tree; their
+// output (Facts) is consumed by internal/instrument to plan checks.
+package analysis
+
+import "giantsan/internal/ir"
+
+// Kind classifies how an access's address is formed.
+type Kind int
+
+// Address kinds.
+const (
+	// ConstAddr means base + constant: index is nil or a literal.
+	ConstAddr Kind = iota
+	// Affine means base + i·scale + off with i the innermost enclosing
+	// loop's induction variable — the SCEV-friendly shape.
+	Affine
+	// Dynamic means the subscript is data-dependent (hash probes,
+	// indirection arrays): no static bound exists.
+	Dynamic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ConstAddr:
+		return "const"
+	case Affine:
+		return "affine"
+	default:
+		return "dynamic"
+	}
+}
+
+// Access is one analyzed Load or Store.
+type Access struct {
+	Stmt  ir.Stmt
+	Base  string
+	Scale int64
+	// Off is the total constant offset (statement offset plus constant
+	// index times scale, when the index is a literal).
+	Off  int64
+	Size int
+	Kind Kind
+	// Loop is the innermost enclosing loop, nil at top level.
+	Loop *ir.Loop
+	// BaseStable reports that Base is not reassigned anywhere in Loop's
+	// body — the precondition for quasi-bound caching (a re-anchored
+	// cache would thrash).
+	BaseStable bool
+	// Unconditional reports that the access executes on every iteration
+	// of Loop (it is not guarded by an If inside the loop body). Hoisting
+	// a conditional access's check to the preheader could report a range
+	// the program never touches, so promotion requires this.
+	Unconditional bool
+	// LoopSafe reports that no barrier inside Loop's body invalidates
+	// hoisting this access's check to the loop preheader: Base is stable
+	// AND the body has no free and no opaque call.
+	LoopSafe bool
+}
+
+// Group is a must-alias set: consecutive ConstAddr accesses to one base in
+// straight-line code. Lo/Hi give the byte extent [Lo, Hi) relative to the
+// base covering every member.
+type Group struct {
+	Members []*Access
+	Lo, Hi  int64
+}
+
+// Facts is the analysis result for one program.
+type Facts struct {
+	Accesses []*Access
+	Info     map[ir.Stmt]*Access
+	Groups   []*Group
+	// GroupOf maps each grouped access to its group.
+	GroupOf map[ir.Stmt]*Group
+}
+
+// Analyze runs all analyses over p.
+func Analyze(p *ir.Prog) *Facts {
+	f := &Facts{
+		Info:    make(map[ir.Stmt]*Access),
+		GroupOf: make(map[ir.Stmt]*Group),
+	}
+	a := &analyzer{facts: f}
+	a.block(p.Body, nil)
+	return f
+}
+
+type analyzer struct {
+	facts *Facts
+	// loops is the enclosing loop stack.
+	loops []*ir.Loop
+	// condDepth counts enclosing If statements inside the innermost loop;
+	// it resets when a loop (or call) is entered.
+	condDepth []int
+}
+
+func (a *analyzer) curCond() int {
+	if len(a.condDepth) == 0 {
+		return 0
+	}
+	return a.condDepth[len(a.condDepth)-1]
+}
+
+// classify determines the address kind of an access. Affine recognizes
+// the SCEV shapes i and i±c for the innermost loop variable i; the
+// constant part is returned as an extra byte offset (already scaled).
+func classify(idx ir.Expr, scale int64, loops []*ir.Loop) (Kind, int64) {
+	innermost := ""
+	if len(loops) > 0 {
+		innermost = loops[len(loops)-1].Var
+	}
+	switch e := idx.(type) {
+	case nil:
+		return ConstAddr, 0
+	case ir.Const:
+		return ConstAddr, int64(e) * scale
+	case ir.Var:
+		if string(e) == innermost {
+			return Affine, 0
+		}
+		return Dynamic, 0
+	case ir.Bin:
+		// i + c and i − c (and c + i).
+		if e.Op == ir.Add || e.Op == ir.Sub {
+			if v, ok := e.L.(ir.Var); ok && string(v) == innermost {
+				if c, ok := e.R.(ir.Const); ok {
+					d := int64(c)
+					if e.Op == ir.Sub {
+						d = -d
+					}
+					return Affine, d * scale
+				}
+			}
+			if e.Op == ir.Add {
+				if c, ok := e.L.(ir.Const); ok {
+					if v, ok := e.R.(ir.Var); ok && string(v) == innermost {
+						return Affine, int64(c) * scale
+					}
+				}
+			}
+		}
+		return Dynamic, 0
+	default:
+		return Dynamic, 0
+	}
+}
+
+// scanBody reports whether stmts (recursively) contain a lifetime barrier
+// (free or opaque call) and whether they (re)define the variable base.
+func scanBody(stmts []ir.Stmt, base string) (lifetimeBarrier, baseClobbered bool) {
+	ir.Walk(stmts, func(s ir.Stmt) {
+		switch n := s.(type) {
+		case *ir.Free, *ir.Opaque:
+			lifetimeBarrier = true
+		case *ir.Decl:
+			if n.Name == base {
+				baseClobbered = true
+			}
+		case *ir.Assign:
+			if n.Name == base {
+				baseClobbered = true
+			}
+		case *ir.Malloc:
+			if n.Dst == base {
+				baseClobbered = true
+			}
+		case *ir.Alloca:
+			if n.Dst == base {
+				baseClobbered = true
+			}
+		case *ir.Load:
+			if n.Dst == base {
+				baseClobbered = true
+			}
+		}
+	})
+	return lifetimeBarrier, baseClobbered
+}
+
+// block analyzes one statement list. group state tracks the open
+// must-alias run per base variable.
+func (a *analyzer) block(stmts []ir.Stmt, open map[string]*Group) {
+	if open == nil {
+		open = make(map[string]*Group)
+	}
+	flushAll := func() {
+		for k := range open {
+			delete(open, k)
+		}
+	}
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *ir.Load, *ir.Store:
+			base, idx, scale, off, size, _ := ir.AccessParts(s)
+			kind, cOff := classify(idx, scale, a.loops)
+			acc := &Access{
+				Stmt:  s,
+				Base:  base,
+				Scale: scale,
+				Off:   off + cOff,
+				Size:  size,
+				Kind:  kind,
+			}
+			if len(a.loops) > 0 {
+				acc.Loop = a.loops[len(a.loops)-1]
+				barrier, clobbered := scanBody(acc.Loop.Body, base)
+				acc.BaseStable = !clobbered
+				acc.LoopSafe = !barrier && !clobbered
+				acc.Unconditional = a.curCond() == 0
+			}
+			a.facts.Accesses = append(a.facts.Accesses, acc)
+			a.facts.Info[s] = acc
+			if kind == ConstAddr {
+				g := open[base]
+				if g == nil {
+					g = &Group{Lo: acc.Off, Hi: acc.Off + int64(size)}
+					open[base] = g
+					a.facts.Groups = append(a.facts.Groups, g)
+				}
+				g.Members = append(g.Members, acc)
+				g.Lo = min(g.Lo, acc.Off)
+				g.Hi = max(g.Hi, acc.Off+int64(size))
+				a.facts.GroupOf[s] = g
+			}
+			// A load that clobbers a base variable ends that base's run.
+			if ld, ok := s.(*ir.Load); ok {
+				if g, exists := open[ld.Dst]; exists && g != nil {
+					delete(open, ld.Dst)
+				}
+			}
+		case *ir.Decl:
+			delete(open, n.Name)
+		case *ir.Assign:
+			delete(open, n.Name)
+		case *ir.Malloc:
+			delete(open, n.Dst)
+		case *ir.Alloca:
+			delete(open, n.Dst)
+		case *ir.Free, *ir.Opaque:
+			flushAll()
+		case *ir.Memset, *ir.Memcpy:
+			// Intrinsics are independently region-checked; they neither
+			// join nor break constant-offset runs.
+		case *ir.Frame:
+			flushAll()
+			a.block(n.Body, nil)
+			flushAll()
+		case *ir.Loop:
+			flushAll()
+			a.loops = append(a.loops, n)
+			a.condDepth = append(a.condDepth, 0)
+			a.block(n.Body, nil)
+			a.condDepth = a.condDepth[:len(a.condDepth)-1]
+			a.loops = a.loops[:len(a.loops)-1]
+		case *ir.Call:
+			// Intra-procedural boundary: the callee's accesses do not see
+			// the caller's loops, and the caller's must-alias runs do not
+			// survive the call.
+			flushAll()
+			savedLoops, savedCond := a.loops, a.condDepth
+			a.loops, a.condDepth = nil, nil
+			a.block(n.Body, nil)
+			a.loops, a.condDepth = savedLoops, savedCond
+		case *ir.If:
+			flushAll()
+			if len(a.condDepth) > 0 {
+				a.condDepth[len(a.condDepth)-1]++
+			}
+			a.block(n.Then, nil)
+			a.block(n.Else, nil)
+			if len(a.condDepth) > 0 {
+				a.condDepth[len(a.condDepth)-1]--
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"testing"
+
+	"giantsan/internal/ir"
+)
+
+// figure8 builds the paper's Figure 8a program:
+//
+//	void foo(int **p, int N) {
+//	    int *x = p[0];
+//	    int *y = p[1];
+//	    for (int i = 0; i < N; i++) { int j = x[i]; y[j] = i; }
+//	    memset(x, 0, N*sizeof(int));
+//	}
+func figure8() (*ir.Prog, map[string]ir.Stmt) {
+	loadX := &ir.Load{Dst: "x", Base: "p", Idx: ir.Const(0), Scale: 8, Size: 8}
+	loadY := &ir.Load{Dst: "y", Base: "p", Idx: ir.Const(1), Scale: 8, Size: 8}
+	loadXI := &ir.Load{Dst: "j", Base: "x", Idx: ir.Var("i"), Scale: 4, Size: 4}
+	storeYJ := &ir.Store{Base: "y", Idx: ir.Var("j"), Scale: 4, Size: 4, Val: ir.Var("i")}
+	loop := &ir.Loop{Var: "i", N: ir.Var("N"), Bounded: true, Body: []ir.Stmt{loadXI, storeYJ}}
+	mset := &ir.Memset{Base: "x", Val: ir.Const(0), Len: ir.Bin{Op: ir.Mul, L: ir.Var("N"), R: ir.Const(4)}}
+	prog := &ir.Prog{Name: "figure8", Body: []ir.Stmt{
+		&ir.Decl{Name: "N", Init: ir.Const(100)},
+		&ir.Malloc{Dst: "p", Size: ir.Const(16)},
+		loadX, loadY, loop, mset,
+	}}
+	return prog, map[string]ir.Stmt{
+		"loadX": loadX, "loadY": loadY, "loadXI": loadXI, "storeYJ": storeYJ,
+	}
+}
+
+func TestFigure8Classification(t *testing.T) {
+	prog, st := figure8()
+	f := Analyze(prog)
+
+	// p[0] and p[1] are constant-offset accesses off p.
+	for name, want := range map[string]int64{"loadX": 0, "loadY": 8} {
+		acc := f.Info[st[name]]
+		if acc == nil {
+			t.Fatalf("%s not analyzed", name)
+		}
+		if acc.Kind != ConstAddr || acc.Off != want || acc.Base != "p" {
+			t.Errorf("%s: kind=%v off=%d base=%s", name, acc.Kind, acc.Off, acc.Base)
+		}
+	}
+	// x[i] is affine in the bounded loop.
+	xi := f.Info[st["loadXI"]]
+	if xi.Kind != Affine || xi.Scale != 4 || xi.Loop == nil || !xi.Loop.Bounded {
+		t.Errorf("x[i]: kind=%v scale=%d", xi.Kind, xi.Scale)
+	}
+	if !xi.LoopSafe {
+		t.Error("x[i] should be loop-safe (no barriers in body)")
+	}
+	// y[j] is dynamic (j is data-dependent).
+	yj := f.Info[st["storeYJ"]]
+	if yj.Kind != Dynamic {
+		t.Errorf("y[j]: kind=%v, want dynamic", yj.Kind)
+	}
+	if !yj.LoopSafe {
+		t.Error("y[j] is loop-safe: y is not clobbered in the loop")
+	}
+}
+
+func TestMustAliasGrouping(t *testing.T) {
+	prog, st := figure8()
+	f := Analyze(prog)
+	gx := f.GroupOf[st["loadX"]]
+	gy := f.GroupOf[st["loadY"]]
+	if gx == nil || gx != gy {
+		t.Fatal("p[0] and p[1] should share a must-alias group")
+	}
+	if gx.Lo != 0 || gx.Hi != 16 {
+		t.Errorf("group extent [%d,%d), want [0,16)", gx.Lo, gx.Hi)
+	}
+	if len(gx.Members) != 2 {
+		t.Errorf("group has %d members, want 2", len(gx.Members))
+	}
+}
+
+func TestGroupBrokenByBarrier(t *testing.T) {
+	a1 := &ir.Load{Dst: "v", Base: "p", Idx: ir.Const(0), Scale: 8, Size: 8}
+	a2 := &ir.Load{Dst: "w", Base: "p", Idx: ir.Const(1), Scale: 8, Size: 8}
+	prog := &ir.Prog{Body: []ir.Stmt{
+		&ir.Malloc{Dst: "p", Size: ir.Const(64)},
+		a1,
+		&ir.Opaque{},
+		a2,
+	}}
+	f := Analyze(prog)
+	if f.GroupOf[a1] == f.GroupOf[a2] {
+		t.Error("opaque call must break the must-alias run")
+	}
+}
+
+func TestGroupBrokenByBaseClobber(t *testing.T) {
+	a1 := &ir.Load{Dst: "v", Base: "p", Idx: ir.Const(0), Scale: 8, Size: 8}
+	a2 := &ir.Load{Dst: "w", Base: "p", Idx: ir.Const(1), Scale: 8, Size: 8}
+	prog := &ir.Prog{Body: []ir.Stmt{
+		&ir.Malloc{Dst: "p", Size: ir.Const(64)},
+		a1,
+		&ir.Malloc{Dst: "p", Size: ir.Const(64)}, // p redefined
+		a2,
+	}}
+	f := Analyze(prog)
+	if f.GroupOf[a1] == f.GroupOf[a2] {
+		t.Error("base redefinition must break the must-alias run")
+	}
+}
+
+func TestGroupBrokenByLoadIntoBase(t *testing.T) {
+	// A load whose destination is the base kills the run: the pointer may
+	// now point elsewhere.
+	a1 := &ir.Load{Dst: "v", Base: "p", Idx: ir.Const(0), Scale: 8, Size: 8}
+	clob := &ir.Load{Dst: "p", Base: "q", Idx: ir.Const(0), Scale: 8, Size: 8}
+	a2 := &ir.Load{Dst: "w", Base: "p", Idx: ir.Const(1), Scale: 8, Size: 8}
+	prog := &ir.Prog{Body: []ir.Stmt{
+		&ir.Malloc{Dst: "p", Size: ir.Const(64)},
+		&ir.Malloc{Dst: "q", Size: ir.Const(64)},
+		a1, clob, a2,
+	}}
+	f := Analyze(prog)
+	if f.GroupOf[a1] == f.GroupOf[a2] {
+		t.Error("loading into the base variable must break the run")
+	}
+}
+
+// TestGroupNeverSpansIf: a must-alias group across an If boundary would
+// let the representative's merged check cover an access that may never
+// execute; the analysis must break the run at the If.
+func TestGroupNeverSpansIf(t *testing.T) {
+	a1 := &ir.Store{Base: "p", Off: 0, Size: 8, Val: ir.Const(1)}
+	a2 := &ir.Store{Base: "p", Off: 8, Size: 8, Val: ir.Const(2)}
+	a3 := &ir.Store{Base: "p", Off: 16, Size: 8, Val: ir.Const(3)}
+	prog := &ir.Prog{Body: []ir.Stmt{
+		&ir.Malloc{Dst: "p", Size: ir.Const(64)},
+		a1,
+		&ir.If{Cond: ir.Rand{N: ir.Const(2)}, Then: []ir.Stmt{a2, a3}},
+	}}
+	f := Analyze(prog)
+	if f.GroupOf[a1] == f.GroupOf[a2] {
+		t.Error("group spans the If boundary")
+	}
+	// Inside one branch, grouping is fine: both execute together.
+	if f.GroupOf[a2] == nil || f.GroupOf[a2] != f.GroupOf[a3] {
+		t.Error("intra-branch accesses should group")
+	}
+}
+
+func TestLoopUnsafeWithFree(t *testing.T) {
+	acc := &ir.Load{Dst: "v", Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{
+		acc,
+		&ir.Free{Ptr: "y"},
+	}}
+	prog := &ir.Prog{Body: []ir.Stmt{
+		&ir.Malloc{Dst: "x", Size: ir.Const(128)},
+		&ir.Malloc{Dst: "y", Size: ir.Const(8)},
+		loop,
+	}}
+	f := Analyze(prog)
+	if f.Info[acc].LoopSafe {
+		t.Error("a free in the loop body must make hoisting unsafe")
+	}
+}
+
+func TestAffineOnlyForInnermostLoopVar(t *testing.T) {
+	// An access indexed by the *outer* loop variable inside the inner
+	// loop is not affine w.r.t. the inner loop.
+	acc := &ir.Load{Dst: "v", Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8}
+	inner := &ir.Loop{Var: "k", N: ir.Const(4), Bounded: true, Body: []ir.Stmt{acc}}
+	outer := &ir.Loop{Var: "i", N: ir.Const(4), Bounded: true, Body: []ir.Stmt{inner}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, outer}}
+	f := Analyze(prog)
+	if f.Info[acc].Kind != Dynamic {
+		t.Errorf("outer-var subscript in inner loop: kind=%v, want dynamic", f.Info[acc].Kind)
+	}
+	if f.Info[acc].Loop != inner {
+		t.Error("innermost loop attribution wrong")
+	}
+}
+
+func TestAffineWithConstantAddend(t *testing.T) {
+	// x[i+2] and x[i-1] are SCEV-affine with a constant byte offset.
+	plus := &ir.Load{Dst: "v", Base: "x",
+		Idx: ir.Bin{Op: ir.Add, L: ir.Var("i"), R: ir.Const(2)}, Scale: 8, Size: 8}
+	minus := &ir.Load{Dst: "w", Base: "x",
+		Idx: ir.Bin{Op: ir.Sub, L: ir.Var("i"), R: ir.Const(1)}, Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{plus, minus}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := Analyze(prog)
+	if a := f.Info[plus]; a.Kind != Affine || a.Off != 16 {
+		t.Errorf("x[i+2]: kind=%v off=%d", a.Kind, a.Off)
+	}
+	if a := f.Info[minus]; a.Kind != Affine || a.Off != -8 {
+		t.Errorf("x[i-1]: kind=%v off=%d", a.Kind, a.Off)
+	}
+}
+
+func TestConditionalAccessMarked(t *testing.T) {
+	guarded := &ir.Load{Dst: "v", Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8}
+	direct := &ir.Store{Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8, Val: ir.Const(0)}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{
+		direct,
+		&ir.If{Cond: ir.Rand{N: ir.Const(2)}, Then: []ir.Stmt{guarded}},
+	}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := Analyze(prog)
+	if !f.Info[direct].Unconditional {
+		t.Error("unguarded access marked conditional")
+	}
+	if f.Info[guarded].Unconditional {
+		t.Error("If-guarded access marked unconditional")
+	}
+	// A call inside the If resets conditionality for the callee's view
+	// (it has no enclosing loop at all).
+	inCall := &ir.Load{Dst: "u", Base: "x", Off: 0, Size: 8}
+	loop2 := &ir.Loop{Var: "i", N: ir.Const(4), Bounded: true, Body: []ir.Stmt{
+		&ir.If{Cond: ir.Const(1), Then: []ir.Stmt{&ir.Call{Body: []ir.Stmt{inCall}}}},
+	}}
+	prog2 := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(64)}, loop2}}
+	f2 := Analyze(prog2)
+	if f2.Info[inCall].Loop != nil {
+		t.Error("callee access attributed to caller loop")
+	}
+}
+
+func TestUnboundedLoopDynamicIndex(t *testing.T) {
+	acc := &ir.Store{Base: "y", Idx: ir.Rand{N: ir.Const(100)}, Scale: 4, Size: 4, Val: ir.Const(1)}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: false, Body: []ir.Stmt{acc}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "y", Size: ir.Const(512)}, loop}}
+	f := Analyze(prog)
+	a := f.Info[acc]
+	if a.Kind != Dynamic || a.Loop == nil || a.Loop.Bounded {
+		t.Errorf("dynamic store misanalyzed: %+v", a)
+	}
+}
+
+func TestCountAccesses(t *testing.T) {
+	prog, _ := figure8()
+	if got := prog.CountAccesses(); got != 5 {
+		t.Errorf("CountAccesses = %d, want 5", got)
+	}
+}

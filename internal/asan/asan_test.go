@@ -1,0 +1,193 @@
+package asan
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+func newSan(t *testing.T) (*vmem.Space, *Sanitizer) {
+	t.Helper()
+	sp := vmem.NewSpace(1 << 20)
+	return sp, New(sp)
+}
+
+func mark(a *Sanitizer, base vmem.Addr, size uint64) {
+	reserved := (size + 7) &^ 7
+	a.Poison(base-16, 16, san.RedzoneLeft)
+	a.MarkAllocated(base, size)
+	a.Poison(base+vmem.Addr(reserved), 16, san.RedzoneRight)
+}
+
+func TestEncoding(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	a.MarkAllocated(base, 20) // 2 good segments + 4-partial
+	sh := a.Shadow()
+	snap := sh.Snapshot(sh.Index(base), 3)
+	want := []uint8{0, 0, 4}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("segment %d: code %#x, want %#x", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestExampleOneSemantics(t *testing.T) {
+	// The paper's Example 1: m[p]=0 → good; m[p]=k → first k bytes only.
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 20)
+	tests := []struct {
+		off  uint64
+		w    uint64
+		ok   bool
+		desc string
+	}{
+		{0, 8, true, "full good segment"},
+		{8, 8, true, "second good segment"},
+		{16, 4, true, "partial prefix"},
+		{16, 5, false, "beyond partial prefix"},
+		{19, 1, true, "last valid byte"},
+		{20, 1, false, "first invalid byte"},
+		{17, 3, true, "unaligned within partial"},
+		{18, 3, false, "unaligned past partial"},
+	}
+	for _, tt := range tests {
+		err := a.CheckAccess(base+vmem.Addr(tt.off), tt.w, report.Read)
+		if (err == nil) != tt.ok {
+			t.Errorf("%s: CheckAccess(+%d, %d) = %v, want ok=%v", tt.desc, tt.off, tt.w, err, tt.ok)
+		}
+	}
+}
+
+func TestStraddlingAccess(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 12)
+	// 8-byte access at +6 straddles segments 0 and 1 (4-partial).
+	if err := a.CheckAccess(base+6, 8, report.Read); err == nil {
+		t.Error("straddling access past the partial prefix passed")
+	}
+	mark(a, base+64, 16)
+	if err := a.CheckAccess(base+64+6, 8, report.Read); err != nil {
+		t.Errorf("valid straddling access failed: %v", err)
+	}
+}
+
+func TestCheckRangeLinear(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 4096
+	a.MarkAllocated(base, 1<<10)
+	a.Stats().Reset()
+	if err := a.CheckRange(base, base+1<<10, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: checking 1 KiB requires loading 128 segment states.
+	if got := a.Stats().ShadowLoads; got != 128 {
+		t.Errorf("1KiB range check loaded %d shadow bytes, want 128", got)
+	}
+}
+
+func TestCheckRangeDetectsHole(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 64)
+	mark(a, base+96, 64)
+	// Range spanning both objects crosses redzones.
+	if err := a.CheckRange(base, base+160, report.Read); err == nil {
+		t.Error("range across two objects passed")
+	}
+	if err := a.CheckRange(base+3, base+61, report.Read); err != nil {
+		t.Errorf("unaligned intra-object range failed: %v", err)
+	}
+}
+
+func TestErrorKinds(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 64)
+
+	err := a.CheckAccess(base+64, 8, report.Write) // right redzone
+	if err == nil || err.Kind != report.HeapBufferOverflow {
+		t.Errorf("right redzone: %v", err)
+	}
+	err = a.CheckAccess(base-8, 8, report.Read) // left redzone
+	if err == nil || err.Kind != report.HeapBufferUnderflow {
+		t.Errorf("left redzone: %v", err)
+	}
+	a.Poison(base, 64, san.HeapFreed)
+	err = a.CheckAccess(base, 8, report.Read)
+	if err == nil || err.Kind != report.UseAfterFree {
+		t.Errorf("freed: %v", err)
+	}
+}
+
+func TestNullAndWild(t *testing.T) {
+	_, a := newSan(t)
+	if err := a.CheckAccess(0, 8, report.Read); err == nil || err.Kind != report.NullDereference {
+		t.Errorf("null: %v", err)
+	}
+	if err := a.CheckAccess(1<<40, 8, report.Read); err == nil || err.Kind != report.WildAccess {
+		t.Errorf("wild: %v", err)
+	}
+}
+
+func TestAnchorIgnored(t *testing.T) {
+	// ASan has no anchor support: an access that jumps the redzone into a
+	// neighbouring object is a false negative (the Table 5 phenomenon).
+	sp, a := newSan(t)
+	x := sp.Base() + 1024
+	mark(a, x, 64)
+	y := x + 128
+	mark(a, y, 64)
+	if err := a.CheckAnchored(x, y+8, 8, report.Write); err != nil {
+		t.Errorf("ASan unexpectedly caught the redzone bypass: %v", err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	sp := vmem.NewSpace(1 << 12)
+	if New(sp).Name() != "asan" {
+		t.Error("New name")
+	}
+	if NewMinus(sp).Name() != "asan--" {
+		t.Error("NewMinus name")
+	}
+}
+
+func TestPassCacheChecksEveryAccess(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 256)
+	c := a.NewCache()
+	a.Stats().Reset()
+	for off := int64(0); off < 256; off += 8 {
+		if err := c.CheckCached(base, off, 8, report.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every access pays a real check with a metadata load.
+	if a.Stats().ShadowLoads < 32 {
+		t.Errorf("ASan loads = %d, want one per access (32)", a.Stats().ShadowLoads)
+	}
+	if a.Stats().CacheHits != 0 {
+		t.Error("ASan must not report cache hits")
+	}
+}
+
+func TestInitialShadowPoisoned(t *testing.T) {
+	sp, a := newSan(t)
+	if err := a.CheckAccess(sp.Base()+512, 8, report.Read); err == nil {
+		t.Error("unallocated access passed")
+	}
+}
+
+func TestZeroWidthAccess(t *testing.T) {
+	sp, a := newSan(t)
+	if err := a.CheckAccess(sp.Base(), 0, report.Read); err != nil {
+		t.Errorf("zero-width access should pass: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package asan_test
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// TestExhaustiveASanSmallModel: the ASan baseline must also agree with
+// the oracle over the complete small-model space — if the baseline were
+// unsound, every comparative result against it would be meaningless.
+func TestExhaustiveASanSmallModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	for size := uint64(1); size <= 96; size++ {
+		env := rt.New(rt.Config{Kind: rt.ASan, HeapBytes: 1 << 16, WithOracle: true})
+		a := env.San()
+		o := env.Oracle()
+		base, err := env.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := base - 16; p <= base+vmem.Addr(size)+16; p++ {
+			for w := uint64(1); w <= 8; w++ {
+				got := a.CheckAccess(p, w, report.Read) == nil
+				want := o.Addressable(p, w)
+				if got != want {
+					t.Fatalf("size %d: CheckAccess(%#x, %d) = %v, oracle = %v", size, p, w, got, want)
+				}
+			}
+		}
+		// Region guardian over a sampled range space.
+		lo := base - 8
+		hi := base + vmem.Addr(size) + 16
+		for l := lo; l <= hi; l++ {
+			for r := l; r <= hi; r += 2 {
+				got := a.CheckRange(l, r, report.Read) == nil
+				want := o.Addressable(l, uint64(r-l))
+				if got != want {
+					t.Fatalf("size %d: CheckRange[%#x,%#x) = %v, oracle = %v", size, l, r, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Oracle-equivalence property tests for the ASan baseline (DESIGN.md
+// invariant 4), in an external package to use the rt composition.
+package asan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// TestASanMatchesOracleProperty: the instruction-level check agrees with
+// ground truth for every width and alignment (our straddle-handling keeps
+// it sound where real ASan relies on natural alignment).
+func TestASanMatchesOracleProperty(t *testing.T) {
+	e := rt.New(rt.Config{Kind: rt.ASan, HeapBytes: 4 << 20, WithOracle: true})
+	rng := rand.New(rand.NewSource(7))
+	o := e.Oracle()
+	a := e.San()
+	var ptrs []vmem.Addr
+	for i := 0; i < 150; i++ {
+		p, err := e.Malloc(uint64(rng.Intn(1500) + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for i := 0; i < 40; i++ {
+		_ = e.Free(ptrs[rng.Intn(len(ptrs))])
+	}
+	for _, base := range ptrs {
+		for i := 0; i < 40; i++ {
+			p := base - 20 + vmem.Addr(rng.Intn(1600))
+			w := uint64(rng.Intn(8) + 1)
+			got := a.CheckAccess(p, w, report.Read) == nil
+			want := o.Addressable(p, w)
+			if got != want {
+				t.Fatalf("CheckAccess(%#x, %d) = %v, oracle = %v", p, w, got, want)
+			}
+		}
+	}
+}
+
+// TestASanRangeMatchesOracleProperty: the linear guardian agrees with
+// ground truth for arbitrary regions.
+func TestASanRangeMatchesOracleProperty(t *testing.T) {
+	e := rt.New(rt.Config{Kind: rt.ASan, HeapBytes: 4 << 20, WithOracle: true})
+	rng := rand.New(rand.NewSource(8))
+	o := e.Oracle()
+	a := e.San()
+	var ptrs []vmem.Addr
+	for i := 0; i < 100; i++ {
+		p, err := e.Malloc(uint64(rng.Intn(2000) + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, base := range ptrs {
+		for i := 0; i < 20; i++ {
+			l := base + vmem.Addr(rng.Intn(48))
+			n := uint64(rng.Intn(2500))
+			got := a.CheckRange(l, l+vmem.Addr(n), report.Read) == nil
+			want := o.Addressable(l, n)
+			if got != want {
+				t.Fatalf("CheckRange(%#x, +%d) = %v, oracle = %v", l, n, got, want)
+			}
+		}
+	}
+}
+
+// TestGiantSanAndASanAgree: both sanitizers must produce identical verdicts
+// on identical layouts — the encodings differ, the detection must not
+// (Table 3: same results in all Juliet cases).
+func TestGiantSanAndASanAgree(t *testing.T) {
+	mk := func(kind rt.Kind) (*rt.Env, []vmem.Addr) {
+		e := rt.New(rt.Config{Kind: kind, HeapBytes: 4 << 20})
+		rng := rand.New(rand.NewSource(9)) // same seed: same layout
+		var ptrs []vmem.Addr
+		for i := 0; i < 100; i++ {
+			p, err := e.Malloc(uint64(rng.Intn(1000) + 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptrs = append(ptrs, p)
+		}
+		for i := 0; i < 30; i++ {
+			_ = e.Free(ptrs[rng.Intn(len(ptrs))])
+		}
+		return e, ptrs
+	}
+	eg, pg := mk(rt.GiantSan)
+	ea, pa := mk(rt.ASan)
+	rng := rand.New(rand.NewSource(10))
+	for i := range pg {
+		if pg[i] != pa[i] {
+			t.Fatalf("layouts diverged at %d: %#x vs %#x", i, pg[i], pa[i])
+		}
+		for trial := 0; trial < 30; trial++ {
+			p := pg[i] - 20 + vmem.Addr(rng.Intn(1100))
+			w := uint64(rng.Intn(8) + 1)
+			g := eg.San().CheckAccess(p, w, report.Read) == nil
+			a := ea.San().CheckAccess(p, w, report.Read) == nil
+			if g != a {
+				t.Fatalf("verdicts differ at %#x w=%d: giantsan=%v asan=%v", p, w, g, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"giantsan/internal/flaws"
+	"giantsan/internal/instrument"
+	"giantsan/internal/juliet"
+	"giantsan/internal/magma"
+	"giantsan/internal/texttable"
+	"giantsan/internal/tool"
+	"giantsan/internal/traversal"
+	"giantsan/internal/workload"
+)
+
+// Fig10Row is one bar of Figure 10: the proportion of dynamic memory
+// instructions per protection category under GiantSan, with ASan's check
+// set (= every access) as the baseline.
+type Fig10Row struct {
+	ID                                      string
+	Eliminated, Cached, FastOnly, FullCheck float64
+}
+
+// Fig10 regenerates the ablation proportions.
+func Fig10(scale int) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	cfg := Configs()[1] // the full GiantSan configuration
+	if cfg.Profile.Name != instrument.GiantSanProfile.Name {
+		panic("bench: Configs order changed; Fig10 needs giantsan")
+	}
+	for _, w := range workload.All() {
+		_, res, err := RunOnce(w, cfg, scale)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(res.Stats.Accesses)
+		rows = append(rows, Fig10Row{
+			ID:         w.ID,
+			Eliminated: float64(res.Stats.Eliminated) / total,
+			Cached:     float64(res.Stats.Cached) / total,
+			FastOnly:   float64(res.Stats.FastOnly) / total,
+			FullCheck:  float64(res.Stats.FullCheck) / total,
+		})
+	}
+	return rows, nil
+}
+
+// Fig10Means averages the category shares across programs.
+func Fig10Means(rows []Fig10Row) Fig10Row {
+	var m Fig10Row
+	m.ID = "mean"
+	for _, r := range rows {
+		m.Eliminated += r.Eliminated
+		m.Cached += r.Cached
+		m.FastOnly += r.FastOnly
+		m.FullCheck += r.FullCheck
+	}
+	n := float64(len(rows))
+	m.Eliminated /= n
+	m.Cached /= n
+	m.FastOnly /= n
+	m.FullCheck /= n
+	return m
+}
+
+// RenderFig10 renders the proportions.
+func RenderFig10(rows []Fig10Row) string {
+	tb := texttable.New("Program", "Eliminated", "Cached", "FastOnly", "FullCheck")
+	pct := func(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+	for _, r := range rows {
+		tb.Add(r.ID, pct(r.Eliminated), pct(r.Cached), pct(r.FastOnly), pct(r.FullCheck))
+	}
+	m := Fig10Means(rows)
+	tb.Add("MEAN", pct(m.Eliminated), pct(m.Cached), pct(m.FastOnly), pct(m.FullCheck))
+	return tb.String()
+}
+
+// Fig11Point is one measured point of Figure 11.
+type Fig11Point struct {
+	Pattern  traversal.Pattern
+	Mode     traversal.Mode
+	BufBytes uint64
+	PerPass  time.Duration
+}
+
+// Fig11 measures all pattern/mode/size combinations. reps passes are
+// averaged per point. The mode set includes GiantSanLB, the §5.4
+// lower-bound mitigation, so the figure shows both the limitation and
+// its proposed fix.
+func Fig11(sizes []uint64, reps int) ([]Fig11Point, error) {
+	var pts []Fig11Point
+	for _, p := range traversal.Patterns() {
+		for _, m := range traversal.ModesWithMitigation() {
+			for _, size := range sizes {
+				h, err := traversal.New(m, p, size)
+				if err != nil {
+					return nil, err
+				}
+				h.Traverse() // warm-up: converge the quasi-bound, fault pages
+				start := time.Now()
+				for r := 0; r < reps; r++ {
+					h.Traverse()
+				}
+				pts = append(pts, Fig11Point{
+					Pattern: p, Mode: m, BufBytes: size,
+					PerPass: time.Since(start) / time.Duration(reps),
+				})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// RenderFig11 renders one sub-figure per pattern.
+func RenderFig11(pts []Fig11Point) string {
+	out := ""
+	for _, p := range traversal.Patterns() {
+		tb := texttable.New("BufKB", "Native", "GiantSan", "GiantSan-LB", "ASan", "GiantSan/ASan")
+		bySize := map[uint64]map[traversal.Mode]time.Duration{}
+		var sizes []uint64
+		for _, pt := range pts {
+			if pt.Pattern != p {
+				continue
+			}
+			if bySize[pt.BufBytes] == nil {
+				bySize[pt.BufBytes] = map[traversal.Mode]time.Duration{}
+				sizes = append(sizes, pt.BufBytes)
+			}
+			bySize[pt.BufBytes][pt.Mode] = pt.PerPass
+		}
+		for _, size := range sizes {
+			row := bySize[size]
+			ratio := float64(row[traversal.GiantSan]) / float64(row[traversal.ASan])
+			lb := "-"
+			if d, ok := row[traversal.GiantSanLB]; ok {
+				lb = d.String()
+			}
+			tb.Add(float64(size)/1024,
+				row[traversal.Native].String(),
+				row[traversal.GiantSan].String(),
+				lb,
+				row[traversal.ASan].String(),
+				fmt.Sprintf("%.2fx", ratio))
+		}
+		out += fmt.Sprintf("Figure 11%c — %s traversal\n%s\n", 'a'+byte(p), p, tb.String())
+	}
+	return out
+}
+
+// DetectionTools builds the standard Table 3/4 tool set.
+func DetectionTools() []*tool.Tool {
+	return []*tool.Tool{
+		tool.New(tool.Config{Kind: tool.GiantSan, HeapBytes: 4 << 20}),
+		tool.New(tool.Config{Kind: tool.ASan, HeapBytes: 4 << 20}),
+		tool.New(tool.Config{Kind: tool.ASanMinus, HeapBytes: 4 << 20}),
+		tool.New(tool.Config{Kind: tool.LFP, HeapBytes: 4 << 20}),
+	}
+}
+
+// RenderTable3 runs the Juliet study and renders the paper's layout.
+func RenderTable3() string {
+	tb := texttable.New("CWE ID & Type", "GiantSan", "ASan", "ASan--", "LFP", "Total")
+	totals := map[string]int{}
+	grand := 0
+	for _, r := range juliet.Run(DetectionTools) {
+		tb.Add(fmt.Sprintf("%d: %s", r.CWE, juliet.CWEName(r.CWE)),
+			r.Detected["giantsan"], r.Detected["asan"], r.Detected["asan--"], r.Detected["lfp"], r.Total)
+		for k, v := range r.Detected {
+			totals[k] += v
+		}
+		grand += r.Total
+	}
+	tb.Add("Total", totals["giantsan"], totals["asan"], totals["asan--"], totals["lfp"], grand)
+	return tb.String()
+}
+
+// RenderTable4 runs the CVE study and renders the paper's layout.
+func RenderTable4() string {
+	tb := texttable.New("Program", "CVE ID", "GiantSan", "ASan", "ASan--", "LFP")
+	mark := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "-"
+	}
+	for _, r := range flaws.Run(func() []*tool.Tool {
+		return []*tool.Tool{
+			tool.New(tool.Config{Kind: tool.GiantSan, HeapBytes: 4 << 20}),
+			tool.New(tool.Config{Kind: tool.ASan, HeapBytes: 4 << 20}),
+			tool.New(tool.Config{Kind: tool.ASanMinus, HeapBytes: 4 << 20}),
+			tool.New(tool.Config{Kind: tool.LFP, HeapBytes: 4 << 20}),
+		}
+	}) {
+		tb.Add(r.CVE.Program, r.CVE.ID,
+			mark(r.Detected["giantsan"]), mark(r.Detected["asan"]),
+			mark(r.Detected["asan--"]), mark(r.Detected["lfp"]))
+	}
+	return tb.String()
+}
+
+// RenderTable5 runs the Magma study and renders the paper's layout.
+func RenderTable5() string {
+	tb := texttable.New("Project (LoC)", "ASan--(rz16)", "ASan--(rz512)", "ASan(rz16)", "ASan(rz512)", "GiantSan(rz16)", "Total")
+	for _, r := range magma.RunAll() {
+		tb.Add(fmt.Sprintf("%s (%s)", r.Project.Name, r.Project.LoC),
+			r.Counts["asan--(rz=16)"], r.Counts["asan--(rz=512)"],
+			r.Counts["asan(rz=16)"], r.Counts["asan(rz=512)"],
+			r.Counts["giantsan(rz=16)"], r.Project.Total())
+	}
+	return tb.String()
+}

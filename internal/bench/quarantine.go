@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/texttable"
+	"giantsan/internal/vmem"
+)
+
+// QuarantineRow is one point of the quarantine-budget study: how long a
+// dangling pointer stays detectable as the FIFO budget shrinks (§5.4's
+// "Quarantine Bypassing" limitation, quantified).
+type QuarantineRow struct {
+	Budget uint64
+	// Detected is how many of the probes still reported, out of Total.
+	Detected, Total int
+}
+
+// QuarantineAblation frees an object, applies increasing allocation
+// pressure, and probes the dangling pointer after each allocation: with a
+// large budget the chunk stays poisoned through all the pressure; with a
+// tiny one it is recycled almost immediately.
+func QuarantineAblation(budgets []uint64, pressure int) ([]QuarantineRow, error) {
+	var rows []QuarantineRow
+	for _, budget := range budgets {
+		env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 32 << 20, QuarantineBytes: budget})
+		row := QuarantineRow{Budget: budget}
+		dangling, err := env.Malloc(64)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Free(dangling); err != nil {
+			return nil, fmt.Errorf("quarantine ablation: %v", err)
+		}
+		for i := 0; i < pressure; i++ {
+			// Allocation churn: every free pushes the FIFO and can evict
+			// the dangling chunk; every malloc may then recycle it.
+			p, err := env.Malloc(64)
+			if err != nil {
+				return nil, err
+			}
+			row.Total++
+			if env.San().CheckAccess(vmem.Addr(dangling), 8, report.Read) != nil {
+				row.Detected++
+			}
+			if err := env.Free(p); err != nil {
+				return nil, fmt.Errorf("quarantine ablation: %v", err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderQuarantine renders the study.
+func RenderQuarantine(rows []QuarantineRow) string {
+	tb := texttable.New("QuarantineBudget", "DanglingProbesDetected", "Rate")
+	for _, r := range rows {
+		tb.Add(fmt.Sprintf("%d B", r.Budget),
+			fmt.Sprintf("%d/%d", r.Detected, r.Total),
+			fmt.Sprintf("%.0f%%", 100*float64(r.Detected)/float64(r.Total)))
+	}
+	return tb.String()
+}

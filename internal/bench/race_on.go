@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: timing-based
+// assertions are skipped (instrumentation distorts ratios), deterministic
+// counter assertions still run.
+const raceEnabled = true

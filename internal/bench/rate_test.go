@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"giantsan/internal/workload"
+)
+
+func TestRateRun(t *testing.T) {
+	w := workload.ByID("505.mcf_r")
+	cfg := Configs()[1] // giantsan
+	res, err := RateRun(w, cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies != 4 || res.Elapsed <= 0 || res.Throughput <= 0 {
+		t.Errorf("RateResult = %+v", res)
+	}
+}
+
+// TestRateScalesThroughput: concurrent copies must finish in well under
+// copies× the single-copy time when cores are available (the runtimes are
+// independent; a shared lock would serialize them). On a single-CPU
+// machine there is nothing to measure beyond correctness.
+func TestRateScalesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("needs ≥ 2 CPUs to observe parallel speedup")
+	}
+	w := workload.ByID("519.lbm_r")
+	cfg := Configs()[1]
+	one, err := RateRun(w, cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RateRun(w, cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Elapsed > 3*one.Elapsed {
+		t.Errorf("4 copies took %v vs single %v: copies appear serialized", four.Elapsed, one.Elapsed)
+	}
+}

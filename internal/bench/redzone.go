@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"giantsan/internal/instrument"
+	"giantsan/internal/interp"
+	"giantsan/internal/rt"
+	"giantsan/internal/texttable"
+	"giantsan/internal/workload"
+)
+
+// RedzoneRow is one measurement of the redzone trade-off study (§4.4.1:
+// "small redzones can be bypassed, while large redzones negatively impact
+// memory performance" — anchoring removes the dilemma, so GiantSan never
+// needs the 512-byte setting ASan reaches for in Table 5).
+type RedzoneRow struct {
+	Config    string
+	Redzone   uint64
+	Elapsed   time.Duration
+	Footprint uint64 // heap arena bytes consumed, redzones included
+}
+
+// redzoneConfigs are the study's columns.
+var redzoneConfigs = []struct {
+	label string
+	prof  instrument.Profile
+	kind  rt.Kind
+	rz    uint64
+}{
+	{"asan(rz=16)", instrument.ASanProfile, rt.ASan, 16},
+	{"asan(rz=128)", instrument.ASanProfile, rt.ASan, 128},
+	{"asan(rz=512)", instrument.ASanProfile, rt.ASan, 512},
+	{"giantsan(rz=16)", instrument.GiantSanProfile, rt.GiantSan, 16},
+}
+
+// livePopulation is the footprint probe: a gcc/omnetpp-like population of
+// small live objects, where per-object redzones dominate memory.
+const (
+	liveObjects = 4096
+	liveObjSize = 48
+)
+
+// RedzoneAblation measures, per configuration: wall time on the
+// allocation-heavy omnetpp kernel, and the arena footprint of a standing
+// population of small live objects.
+func RedzoneAblation(scale int) ([]RedzoneRow, error) {
+	w := workload.ByID("520.omnetpp_r")
+	var rows []RedzoneRow
+	for _, cfg := range redzoneConfigs {
+		// Timing run.
+		env := rt.New(rt.Config{
+			Kind:      cfg.kind,
+			HeapBytes: w.HeapBytes*uint64(scale) + (uint64(cfg.rz) * 1 << 16),
+			Redzone:   cfg.rz,
+		})
+		ex, err := interp.Prepare(w.Build(scale), cfg.prof, env)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res := ex.Run()
+		elapsed := time.Since(start)
+		if res.Errors.Total() != 0 {
+			return nil, fmt.Errorf("redzone ablation: %s reported %d errors", cfg.label, res.Errors.Total())
+		}
+
+		// Footprint run: a standing population of live small objects.
+		popEnv := rt.New(rt.Config{
+			Kind:      cfg.kind,
+			HeapBytes: uint64(liveObjects) * (liveObjSize + 2*cfg.rz + 64),
+			Redzone:   cfg.rz,
+		})
+		for i := 0; i < liveObjects; i++ {
+			if _, err := popEnv.Malloc(liveObjSize); err != nil {
+				return nil, fmt.Errorf("redzone ablation: population: %w", err)
+			}
+		}
+		rows = append(rows, RedzoneRow{
+			Config:    cfg.label,
+			Redzone:   cfg.rz,
+			Elapsed:   elapsed,
+			Footprint: popEnv.Heap().Footprint(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderRedzone renders the study.
+func RenderRedzone(rows []RedzoneRow) string {
+	tb := texttable.New("Config", "Redzone", "Time", "HeapFootprint")
+	for _, r := range rows {
+		tb.Add(r.Config, r.Redzone, r.Elapsed.String(), fmt.Sprintf("%.1f MiB", float64(r.Footprint)/(1<<20)))
+	}
+	return tb.String()
+}

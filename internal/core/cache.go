@@ -1,0 +1,98 @@
+package core
+
+import (
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// boundCache is the quasi-bound of §4.3 (Figure 9): a per-pointer upper
+// bound on offsets known to be addressable from the anchor. Accesses below
+// the bound need no metadata at all; accesses beyond it pay one anchored
+// check and then raise the bound from the folded segment at the access
+// point. The bound converges to the object's upper bound in at most
+// ⌈log2(n/8)⌉ refills because every refill at least doubles the summarized
+// distance... more precisely the folding degree read decreases by at least
+// one per refill.
+//
+// There is deliberately no quasi-*lower*-bound: negative offsets always pay
+// a dedicated underflow check (§5.4), which is what makes reverse
+// traversals slower than ASan in Figure 11c.
+type boundCache struct {
+	g *Sanitizer
+	// anchor is the base pointer the bound is relative to; a different
+	// anchor (base reassigned mid-loop) invalidates the bound.
+	anchor vmem.Addr
+	// ub is the quasi-bound: offsets o with o+w ≤ ub are addressable.
+	ub uint64
+}
+
+// NewCache implements san.Sanitizer.
+func (g *Sanitizer) NewCache() san.Cache { return &boundCache{g: g} }
+
+// CheckCached implements san.Cache.
+func (c *boundCache) CheckCached(anchor vmem.Addr, off int64, w uint64, t report.AccessType) *report.Error {
+	if anchor != c.anchor {
+		c.anchor = anchor
+		c.ub = 0
+	}
+	if off >= 0 && uint64(off)+w <= c.ub {
+		c.g.stats.Checks++
+		c.g.stats.CacheHits++
+		return nil
+	}
+	if off < 0 {
+		// Underflow side: dedicated uncached check (Figure 9, lines 9-11).
+		return c.g.CheckAnchored(anchor, anchor+vmem.Addr(off), w, t)
+	}
+	// Beyond the quasi-bound: check the access anchored at the base
+	// (Figure 9, line 5), then refill the bound from the folded segment at
+	// the access point (lines 6-7).
+	p := anchor + vmem.Addr(off)
+	if err := c.g.CheckAnchored(anchor, p, w, t); err != nil {
+		return err
+	}
+	c.refill(anchor, uint64(off)+w)
+	return nil
+}
+
+// refill raises the quasi-bound using the folded segment covering
+// anchor+end−1. Figure 9 sets ub = off + u with u read at the access
+// point; we additionally align the summary to the segment start so the
+// bound never overshoots the summarized region (the paper's form relies on
+// the access offset being segment-aligned).
+func (c *boundCache) refill(anchor vmem.Addr, end uint64) {
+	c.g.stats.CacheRefills++
+	p := anchor + vmem.Addr(end-1)
+	if !c.g.sh.Contains(p) {
+		return
+	}
+	v := c.g.load(p)
+	u := SummaryBytes(v)
+	segStartOff := (end - 1) &^ 7 // anchor is 8-aligned, so this is the
+	// offset of the segment containing the last checked byte
+	nb := segStartOff + u
+	if IsPartial(v) {
+		nb = segStartOff + uint64(PartialK(v))
+	}
+	if nb > c.ub {
+		c.ub = nb
+	}
+	if end > c.ub {
+		// The anchored check just proved [0, end) addressable; never
+		// cache less than that.
+		c.ub = end
+	}
+}
+
+// Finish implements san.Cache: the loop-exit check CI(anchor, anchor+ub)
+// that catches an object freed while the loop was running on the cached
+// bound (§4.3), then resets the cache for reuse.
+func (c *boundCache) Finish(anchor vmem.Addr, t report.AccessType) *report.Error {
+	ub := c.ub
+	c.ub = 0
+	if ub == 0 {
+		return nil
+	}
+	return c.g.CheckRange(anchor, anchor+vmem.Addr(ub), t)
+}

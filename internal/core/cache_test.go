@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+func TestCacheHitsAfterRefill(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 1024)
+	c := g.NewCache()
+	g.Stats().Reset()
+
+	// First access: miss + refill.
+	if err := c.CheckCached(base, 0, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().CacheRefills != 1 {
+		t.Fatalf("refills = %d, want 1", g.Stats().CacheRefills)
+	}
+	// Subsequent accesses inside the summarized half: pure hits, zero
+	// metadata loads.
+	loads := g.Stats().ShadowLoads
+	for off := int64(8); off < 256; off += 8 {
+		if err := c.CheckCached(base, off, 8, report.Read); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+	}
+	if g.Stats().ShadowLoads != loads {
+		t.Errorf("cache hits loaded metadata: %d extra loads", g.Stats().ShadowLoads-loads)
+	}
+	if g.Stats().CacheHits == 0 {
+		t.Error("no cache hits counted")
+	}
+}
+
+// TestCacheRefillLogarithmic: the quasi-bound reaches the object's end in
+// at most ⌈log2(n/8)⌉+1 refills during a forward traversal (§4.3).
+func TestCacheRefillLogarithmic(t *testing.T) {
+	for _, size := range []uint64{64, 1024, 4096, 65536} {
+		sp := vmem.NewSpace(1 << 20)
+		g := New(sp)
+		base := sp.Base() + 1024
+		mark(g, base, size)
+		c := g.NewCache()
+		g.Stats().Reset()
+		for off := int64(0); off < int64(size); off += 8 {
+			if err := c.CheckCached(base, off, 8, report.Read); err != nil {
+				t.Fatalf("size %d off %d: %v", size, off, err)
+			}
+		}
+		maxRefills := uint64(1)
+		for s := uint64(8); s < size; s *= 2 {
+			maxRefills++
+		}
+		if got := g.Stats().CacheRefills; got > maxRefills {
+			t.Errorf("size %d: %d refills, want ≤ %d", size, got, maxRefills)
+		}
+	}
+}
+
+func TestCacheNeverAcceptsOverflow(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 100)
+	c := g.NewCache()
+	// Warm the cache over the full object.
+	for off := int64(0); off+8 <= 100; off += 8 {
+		if err := c.CheckCached(base, off, 8, report.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tail and overflow accesses.
+	if err := c.CheckCached(base, 96, 4, report.Read); err != nil {
+		t.Errorf("in-bounds tail rejected: %v", err)
+	}
+	if err := c.CheckCached(base, 96, 8, report.Write); err == nil {
+		t.Error("overflow accepted through the cache")
+	}
+	if err := c.CheckCached(base, 100, 1, report.Write); err == nil {
+		t.Error("one-past-end accepted through the cache")
+	}
+}
+
+func TestCacheUnderflowNeverCached(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	c := g.NewCache()
+	if err := c.CheckCached(base, -1, 1, report.Read); err == nil {
+		t.Error("underflow accepted")
+	}
+	// Each underflow access must pay a real check (no negative caching):
+	g.Stats().Reset()
+	for i := 0; i < 5; i++ {
+		c.CheckCached(base, -8, 8, report.Read)
+	}
+	if g.Stats().CacheHits != 0 {
+		t.Error("negative offsets were cached")
+	}
+}
+
+func TestCacheFinishCatchesMidLoopFree(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 256)
+	c := g.NewCache()
+	if err := c.CheckCached(base, 0, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	// Free the object mid-loop: cached accesses may pass...
+	g.Poison(base, 256, san.HeapFreed)
+	_ = c.CheckCached(base, 8, 8, report.Read) // may hit the stale bound
+	// ...but Finish must catch the deallocation.
+	if err := c.Finish(base, report.Read); err == nil {
+		t.Error("Finish missed the mid-loop free")
+	} else if err.Kind != report.UseAfterFree {
+		t.Errorf("Finish kind = %v", err.Kind)
+	}
+}
+
+func TestCacheFinishResets(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	c := g.NewCache()
+	c.CheckCached(base, 0, 8, report.Read)
+	if err := c.Finish(base, report.Read); err != nil {
+		t.Fatalf("clean Finish failed: %v", err)
+	}
+	// After Finish the cache is cold again: next access refills.
+	g.Stats().Reset()
+	c.CheckCached(base, 0, 8, report.Read)
+	if g.Stats().CacheRefills != 1 {
+		t.Error("cache not reset by Finish")
+	}
+	// Finish with a cold cache is a no-op.
+	if err := c.Finish(base, report.Read); err != nil {
+		t.Errorf("cold Finish failed: %v", err)
+	}
+}
+
+func TestPassCacheDegradesToChecks(t *testing.T) {
+	sp := vmem.NewSpace(1 << 16)
+	g := New(sp)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	pc := san.PassCache{S: g}
+	if err := pc.CheckCached(base, 0, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.CheckCached(base, 64, 8, report.Read); err == nil {
+		t.Error("pass cache accepted an overflow")
+	}
+	if err := pc.Finish(base, report.Read); err != nil {
+		t.Error("pass cache Finish should be nil")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"giantsan/internal/vmem"
+)
+
+// DumpShadow renders the shadow bytes around addr in the style of ASan's
+// crash reports: one line of 16 segment codes per row, the faulting
+// segment bracketed. Decoding legend included, so a report is readable
+// without the paper open.
+func (g *Sanitizer) DumpShadow(addr vmem.Addr, rows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shadow bytes around %#x (segment codes, Definition 1):\n", addr)
+	if !g.sh.Contains(addr) {
+		b.WriteString("  <address outside the simulated space>\n")
+		return b.String()
+	}
+	center := g.sh.Index(addr)
+	perRow := 16
+	start := center - rows*perRow/2
+	if start < 0 {
+		start = 0
+	}
+	for r := 0; r < rows; r++ {
+		rowStart := start + r*perRow
+		if rowStart >= g.sh.NumSegments() {
+			break
+		}
+		fmt.Fprintf(&b, "  %#08x:", g.sh.SegStart(rowStart))
+		for i := 0; i < perRow; i++ {
+			seg := rowStart + i
+			if seg >= g.sh.NumSegments() {
+				break
+			}
+			code := g.sh.LoadSeg(seg)
+			if seg == center {
+				fmt.Fprintf(&b, "[%s]", codeGlyph(code))
+			} else {
+				fmt.Fprintf(&b, " %s ", codeGlyph(code))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(legend)
+	return b.String()
+}
+
+// codeGlyph renders one shadow code compactly: folded segments as their
+// degree, partials as pK, error codes as ASan-style two-letter tags.
+func codeGlyph(code uint8) string {
+	switch {
+	case IsFolded(code):
+		return fmt.Sprintf("%02d", Degree(code))
+	case IsPartial(code):
+		return fmt.Sprintf("p%d", PartialK(code))
+	}
+	switch code {
+	case CodeRedzoneLeft:
+		return "fl"
+	case CodeRedzoneRight:
+		return "fr"
+	case CodeHeapFreed:
+		return "fd"
+	case CodeStackRedzone:
+		return "sr"
+	case CodeStackRetired:
+		return "su"
+	case CodeGlobalRZ:
+		return "gr"
+	case CodeUnallocated:
+		return ".."
+	default:
+		return "??"
+	}
+}
+
+const legend = `  Legend: NN=(NN)-folded (2^NN segments addressable)  pK=K-partial
+          fl/fr=heap redzone  fd=freed  sr=stack redzone  su=after-return
+          gr=global redzone   ..=unallocated
+`

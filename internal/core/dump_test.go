@@ -1,0 +1,47 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpShadow(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 68)
+	out := g.DumpShadow(base+64, 4)
+	for _, want := range []string{"Shadow bytes around", "Legend", "fl", "fr", "p4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// The faulting segment is bracketed.
+	if !strings.Contains(out, "[p4]") {
+		t.Errorf("faulting segment not bracketed:\n%s", out)
+	}
+}
+
+func TestDumpShadowOutside(t *testing.T) {
+	_, g := newSan(t)
+	out := g.DumpShadow(0, 2)
+	if !strings.Contains(out, "outside the simulated space") {
+		t.Errorf("dump = %q", out)
+	}
+}
+
+func TestCodeGlyphs(t *testing.T) {
+	tests := map[uint8]string{
+		FoldedCode(0):    "00",
+		FoldedCode(13):   "13",
+		PartialCode(3):   "p3",
+		CodeHeapFreed:    "fd",
+		CodeUnallocated:  "..",
+		CodeStackRedzone: "sr",
+		200:              "??",
+	}
+	for code, want := range tests {
+		if got := codeGlyph(code); got != want {
+			t.Errorf("codeGlyph(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package core implements GiantSan, the paper's primary contribution: a
+// location-based sanitizer whose shadow encoding folds runs of "good"
+// segments into binary summaries, giving O(1) region checks of arbitrary
+// size (Algorithm 1), anchor-based overflow detection (§4.4.1), and
+// quasi-bound history caching (§4.3, Figure 9).
+package core
+
+import "math/bits"
+
+// State codes, Definition 1. m[p] is an 8-bit unsigned integer:
+//
+//	m[p] = 64 − i  →  the p-th segment is an (i)-folded segment: the next
+//	                  8·2^i bytes starting at this segment are addressable.
+//	m[p] = 72 − k  →  the p-th segment is a k-partial segment (k ∈ 1..7):
+//	                  only its first k bytes are addressable.
+//	m[p] > 72      →  error codes.
+//
+// Monotonicity: a smaller m[p] means more consecutive addressable bytes
+// following the p-th segment, which is what lets one unsigned comparison
+// answer "is the folding degree at least d?".
+const (
+	// CodeGood is the (0)-folded segment: all 8 bytes addressable,
+	// nothing further summarized.
+	CodeGood uint8 = 64
+	// CodeMaxFolded is the largest folding code boundary: any code ≤ 64
+	// is a folded segment.
+	CodeMaxFolded uint8 = 64
+	// CodePartialBase is the base for k-partial codes: code = 72 − k.
+	CodePartialBase uint8 = 72
+)
+
+// Error codes (> 72). Distinct codes per poison reason give precise report
+// kinds; ASan does the same with its 0xf* code family.
+const (
+	CodeRedzoneLeft  uint8 = 73
+	CodeRedzoneRight uint8 = 74
+	CodeHeapFreed    uint8 = 75
+	CodeStackRedzone uint8 = 76
+	CodeStackRetired uint8 = 77
+	CodeGlobalRZ     uint8 = 78
+	CodeUnallocated  uint8 = 79
+)
+
+// FoldedCode returns the state code of an (i)-folded segment.
+func FoldedCode(degree int) uint8 { return uint8(64 - degree) }
+
+// PartialCode returns the state code of a k-partial segment (k in 1..7).
+func PartialCode(k int) uint8 { return uint8(72 - k) }
+
+// IsFolded reports whether code denotes a folded (fully good) segment.
+func IsFolded(code uint8) bool { return code >= 1 && code <= CodeMaxFolded }
+
+// IsPartial reports whether code denotes a k-partial segment.
+func IsPartial(code uint8) bool { return code > 64 && code < 72 }
+
+// PartialK returns k for a k-partial code.
+func PartialK(code uint8) int { return int(CodePartialBase - code) }
+
+// Degree returns the folding degree i for a folded code.
+func Degree(code uint8) int { return int(CodeMaxFolded - code) }
+
+// SummaryBytes returns the number of bytes the code guarantees addressable
+// starting at the segment's first byte: 8·2^i for an (i)-folded segment and
+// 0 otherwise. This is the paper's branch-free integer trick
+// u = (v ≤ 64) ≪ (67 − v), with an overflow guard for degrees ≥ 61 that a
+// real 64-bit implementation gets for free from its address-space limit.
+func SummaryBytes(code uint8) uint64 {
+	if code == 0 || code > CodeMaxFolded {
+		return 0
+	}
+	shift := 67 - uint(code)
+	if shift >= 64 {
+		return 1 << 63
+	}
+	return 1 << shift
+}
+
+// DegreeAt returns the folding degree assigned to segment j of a run of q
+// good segments: ⌊log2(q−j)⌋. This is the Figure 5 poisoning pattern: the
+// run of q good segments is written as one (⌊log2 q⌋)-folded prefix whose
+// degrees decay toward the end — exactly 2^i segments end up (i)-folded
+// when q is a power of two.
+func DegreeAt(q, j int) int {
+	return bits.Len(uint(q-j)) - 1
+}

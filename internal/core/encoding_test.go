@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateCodes(t *testing.T) {
+	if FoldedCode(0) != 64 {
+		t.Errorf("FoldedCode(0) = %d, want 64 (a good segment)", FoldedCode(0))
+	}
+	if FoldedCode(3) != 61 {
+		t.Errorf("FoldedCode(3) = %d, want 61", FoldedCode(3))
+	}
+	if PartialCode(4) != 68 {
+		t.Errorf("PartialCode(4) = %d, want 68", PartialCode(4))
+	}
+	if PartialCode(7) != 65 || PartialCode(1) != 71 {
+		t.Error("partial code range wrong")
+	}
+}
+
+func TestCodePredicates(t *testing.T) {
+	for i := 0; i <= 40; i++ {
+		c := FoldedCode(i)
+		if !IsFolded(c) || IsPartial(c) {
+			t.Errorf("degree %d (code %d) misclassified", i, c)
+		}
+		if Degree(c) != i {
+			t.Errorf("Degree(FoldedCode(%d)) = %d", i, Degree(c))
+		}
+	}
+	for k := 1; k <= 7; k++ {
+		c := PartialCode(k)
+		if !IsPartial(c) || IsFolded(c) {
+			t.Errorf("partial k=%d (code %d) misclassified", k, c)
+		}
+		if PartialK(c) != k {
+			t.Errorf("PartialK(PartialCode(%d)) = %d", k, PartialK(c))
+		}
+	}
+	for _, c := range []uint8{CodeRedzoneLeft, CodeRedzoneRight, CodeHeapFreed, CodeStackRedzone, CodeStackRetired, CodeGlobalRZ, CodeUnallocated} {
+		if IsFolded(c) || IsPartial(c) {
+			t.Errorf("error code %d misclassified", c)
+		}
+	}
+}
+
+func TestSummaryBytes(t *testing.T) {
+	tests := []struct {
+		code uint8
+		want uint64
+	}{
+		{FoldedCode(0), 8},
+		{FoldedCode(1), 16},
+		{FoldedCode(2), 32},
+		{FoldedCode(10), 8 << 10},
+		{PartialCode(4), 0},
+		{CodeHeapFreed, 0},
+		{CodeUnallocated, 0},
+		{0, 0}, // degree 64 is never produced; must not blow up
+	}
+	for _, tt := range tests {
+		if got := SummaryBytes(tt.code); got != tt.want {
+			t.Errorf("SummaryBytes(%d) = %d, want %d", tt.code, got, tt.want)
+		}
+	}
+}
+
+// TestMonotonicity: Definition 1's key property — a smaller state code
+// means at least as many consecutive addressable bytes ahead.
+func TestMonotonicity(t *testing.T) {
+	prev := SummaryBytes(1)
+	for c := uint8(2); c <= 72; c++ {
+		cur := SummaryBytes(c)
+		if cur > prev {
+			t.Errorf("SummaryBytes not monotone at code %d: %d > %d", c, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestDegreeAtPattern(t *testing.T) {
+	// Figure 5: an object with 8 full segments gets degrees
+	// (3)(2)(2)(2)(2)(1)(1)(0).
+	want := []int{3, 2, 2, 2, 2, 1, 1, 0}
+	for j, w := range want {
+		if got := DegreeAt(8, j); got != w {
+			t.Errorf("DegreeAt(8, %d) = %d, want %d", j, got, w)
+		}
+	}
+}
+
+// TestDegreeAtSoundness: the degree at position j must never claim more
+// good segments than remain, i.e. 2^d ≤ q−j, and must claim more than
+// half, i.e. 2^(d+1) > q−j.
+func TestDegreeAtSoundness(t *testing.T) {
+	f := func(q16, j16 uint16) bool {
+		q := int(q16%2048) + 1
+		j := int(j16) % q
+		d := DegreeAt(q, j)
+		return d >= 0 && (1<<d) <= q-j && (1<<(d+1)) > q-j
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// LocateLowerBound walks folded segments *downward* from a segment-aligned
+// address p whose object membership is already established, returning the
+// lowest address q such that [q, p) is certified addressable.
+//
+// This is the second mitigation §5.4 proposes for the reverse-traversal
+// limitation: "locate the lower bound before buffer reverse traversals by
+// enumerating the folding degrees and checking whether corresponding
+// folded segments exist". The probe for degree d is sound by the encoding
+// invariant: a code ≤ 64−d at address p−8·2^d certifies that the 8·2^d
+// bytes from there on are addressable, i.e. exactly the gap up to p; a
+// redzone between the probe and p would contradict the summary, so the
+// probe cannot false-positive across objects.
+//
+// Cost: each accepted probe at least doubles the certified distance and
+// each rejected probe halves the candidate, so the walk is O(log² n)
+// shadow loads — paid once per buffer, not per access.
+func (g *Sanitizer) LocateLowerBound(p vmem.Addr) (vmem.Addr, int) {
+	lb := vmem.AlignDown(p, 8)
+	probes := 0
+	for {
+		advanced := false
+		// Try the largest jump first; degrees above ~40 are impossible in
+		// the simulated arenas but harmless.
+		for d := 40; d >= 0; d-- {
+			span := vmem.Addr(8) << uint(d)
+			if span > lb { // would underflow the address space
+				continue
+			}
+			q := lb - span
+			if !g.sh.Contains(q) {
+				continue
+			}
+			probes++
+			g.stats.ShadowLoads++
+			if v := g.sh.Load(q); v <= CodeMaxFolded && SummaryBytes(v) >= uint64(span) {
+				lb = q
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return lb, probes
+		}
+	}
+}
+
+// reverseCache is the §5.4-mitigated cache for descending (moving-pointer)
+// traversals: alongside the quasi-upper-bound it keeps a certified lower
+// bound, located once per buffer with LocateLowerBound. Accesses within
+// [lb, ub) need no metadata regardless of direction.
+type reverseCache struct {
+	g *Sanitizer
+	// lb and ub delimit the certified region; valid when ub > lb.
+	lb, ub vmem.Addr
+}
+
+// NewReverseCache returns a cache suited to reverse traversals. It is not
+// part of san.Cache's contract (the anchor parameter means "the accessed
+// pointer" here), so it has its own entry point.
+func (g *Sanitizer) NewReverseCache() *ReverseCache {
+	return &ReverseCache{c: reverseCache{g: g}}
+}
+
+// ReverseCache wraps reverseCache with the public methods the traversal
+// harness uses.
+type ReverseCache struct {
+	c reverseCache
+}
+
+// Check validates [p, p+w): a hit inside the certified window is free;
+// a miss pays one plain region check plus, on first use, the lower-bound
+// walk that makes every further descending access a hit.
+func (r *ReverseCache) Check(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	c := &r.c
+	if c.ub > c.lb && p >= c.lb && p+vmem.Addr(w) <= c.ub {
+		c.g.stats.Checks++
+		c.g.stats.CacheHits++
+		return nil
+	}
+	if err := c.g.CheckRange(p, p+vmem.Addr(w), t); err != nil {
+		return err
+	}
+	// Certify as much of the object as the summaries reach, both ways.
+	c.g.stats.CacheRefills++
+	lb, _ := c.g.LocateLowerBound(p)
+	up, _ := c.g.LocateBound(vmem.AlignDown(p, 8))
+	c.lb = lb
+	c.ub = vmem.AlignDown(p, 8) + vmem.Addr(up)
+	return nil
+}
+
+// Finish re-validates the certified window (catching a mid-loop free) and
+// resets the cache.
+func (r *ReverseCache) Finish(t report.AccessType) *report.Error {
+	c := &r.c
+	lb, ub := c.lb, c.ub
+	c.lb, c.ub = 0, 0
+	if ub <= lb {
+		return nil
+	}
+	return c.g.CheckRange(lb, ub, t)
+}
+
+// Ensure the plain cache type still satisfies the shared contract.
+var _ san.Cache = (*boundCache)(nil)

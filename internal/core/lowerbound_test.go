@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+func TestLocateLowerBoundExact(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 4096
+	for _, size := range []uint64{8, 64, 100, 1000, 4096, 65536} {
+		g = New(sp)
+		mark(g, base, size)
+		// Walk down from the last full segment of the object.
+		top := base + vmem.Addr(size&^7)
+		if size&7 == 0 {
+			top = base + vmem.Addr(size)
+		}
+		lb, probes := g.LocateLowerBound(top)
+		if lb != base {
+			t.Errorf("size %d: LocateLowerBound = %#x, want base %#x", size, lb, base)
+		}
+		// O(log² n) probes: generous cap.
+		if probes > 45*20 {
+			t.Errorf("size %d: %d probes", size, probes)
+		}
+	}
+}
+
+// TestLocateLowerBoundNeverCrossesObjects: with adjacent objects, the
+// walk must stop at the probing object's base — the soundness argument in
+// the function comment, exercised on random layouts.
+func TestLocateLowerBoundNeverCrossesObjects(t *testing.T) {
+	sp := vmem.NewSpace(1 << 20)
+	rng := rand.New(rand.NewSource(11))
+	g := New(sp)
+	cursor := sp.Base() + 1024
+	type obj struct {
+		base vmem.Addr
+		size uint64
+	}
+	var objs []obj
+	for i := 0; i < 100; i++ {
+		size := uint64(rng.Intn(3000) + 8)
+		// 16-byte redzones between objects, like the allocator.
+		mark(g, cursor, size)
+		objs = append(objs, obj{cursor, size})
+		cursor += vmem.Addr((size+7)&^7) + 32
+	}
+	for _, o := range objs {
+		top := o.base + vmem.Addr(o.size&^7)
+		lb, _ := g.LocateLowerBound(top)
+		if lb != o.base {
+			t.Fatalf("object at %#x size %d: lower bound %#x", o.base, o.size, lb)
+		}
+	}
+}
+
+func TestReverseCacheHitsAfterFirstAccess(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 4096
+	mark(g, base, 16384)
+	rc := g.NewReverseCache()
+	// First (highest) access: miss + certify.
+	if err := rc.Check(base+16376, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	loads := g.Stats().ShadowLoads
+	// Entire descending sweep: all hits, zero loads.
+	for off := int64(16368); off >= 0; off -= 8 {
+		if err := rc.Check(base+vmem.Addr(off), 8, report.Read); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+	}
+	if g.Stats().ShadowLoads != loads {
+		t.Errorf("descending hits loaded %d extra shadow bytes", g.Stats().ShadowLoads-loads)
+	}
+}
+
+func TestReverseCacheDetectsUnderflow(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 4096
+	mark(g, base, 256)
+	rc := g.NewReverseCache()
+	if err := rc.Check(base+248, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Check(base-8, 8, report.Read); err == nil {
+		t.Error("underflow below the certified window passed")
+	}
+	if err := rc.Check(base+256, 8, report.Read); err == nil {
+		t.Error("overflow above the certified window passed")
+	}
+}
+
+func TestReverseCacheFinishCatchesFree(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 4096
+	mark(g, base, 256)
+	rc := g.NewReverseCache()
+	if err := rc.Check(base+128, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	g.Poison(base, 256, san.HeapFreed)
+	if err := rc.Finish(report.Read); err == nil {
+		t.Error("Finish missed the mid-loop free")
+	}
+	// Reset: next Finish is a no-op.
+	if err := rc.Finish(report.Read); err != nil {
+		t.Error("second Finish should be clean")
+	}
+}

@@ -1,0 +1,181 @@
+// Property tests comparing GiantSan's verdicts against the byte-granular
+// ground-truth oracle (DESIGN.md invariants 1-3 and 6). They live in an
+// external test package so they can drive the full rt.Env composition.
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"giantsan/internal/core"
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// env builds a GiantSan runtime with oracle mirroring and a population of
+// live, freed and adjacent objects.
+func env(t *testing.T, seed int64) (*rt.Env, []vmem.Addr, *rand.Rand) {
+	t.Helper()
+	e := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 4 << 20, WithOracle: true})
+	rng := rand.New(rand.NewSource(seed))
+	var ptrs []vmem.Addr
+	for i := 0; i < 200; i++ {
+		size := uint64(rng.Intn(2000) + 1)
+		p, err := e.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for i := 0; i < 60; i++ { // free a random subset
+		idx := rng.Intn(len(ptrs))
+		_ = e.Free(ptrs[idx]) // double frees possible and fine
+	}
+	return e, ptrs, rng
+}
+
+// TestFoldingSoundnessProperty: invariant 1 — every folded code at segment
+// j implies the 8·2^i bytes from the segment start are oracle-addressable.
+func TestFoldingSoundnessProperty(t *testing.T) {
+	e, _, _ := env(t, 1)
+	g := e.San().(*core.Sanitizer)
+	sh := g.Shadow()
+	o := e.Oracle()
+	checked := 0
+	for seg := 0; seg < sh.NumSegments(); seg++ {
+		v := sh.LoadSeg(seg)
+		start := sh.SegStart(seg)
+		switch {
+		case core.IsFolded(v):
+			n := core.SummaryBytes(v)
+			if !o.Addressable(start, n) {
+				t.Fatalf("segment %d code %d claims %d bytes but oracle disagrees at %#x", seg, v, n, start)
+			}
+			checked++
+		case core.IsPartial(v):
+			k := uint64(core.PartialK(v))
+			if !o.Addressable(start, k) {
+				t.Fatalf("partial segment %d claims %d bytes, oracle disagrees", seg, k)
+			}
+			if o.Addressable(start, k+1) {
+				t.Fatalf("partial segment %d claims only %d bytes but byte %d is live", seg, k, k)
+			}
+			checked++
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d folded/partial segments checked; population too small", checked)
+	}
+}
+
+// TestRegionCheckMatchesOracleProperty: invariant 2 — CI(L,R) rejects
+// exactly when the oracle finds a non-addressable byte in [L,R), for
+// regions positioned relative to live objects (intra-object and
+// straddling-boundary, aligned and unaligned).
+func TestRegionCheckMatchesOracleProperty(t *testing.T) {
+	e, ptrs, rng := env(t, 2)
+	g := e.San().(*core.Sanitizer)
+	o := e.Oracle()
+	trials := 0
+	for _, base := range ptrs {
+		for i := 0; i < 20; i++ {
+			// Region start anchored at the object base (the instrumented
+			// pattern), length possibly overshooting the object.
+			off := vmem.Addr(rng.Intn(64))
+			length := uint64(rng.Intn(3000))
+			l := base + off
+			r := l + vmem.Addr(length)
+			got := g.CheckRange(l, r, report.Read) == nil
+			want := o.Addressable(l, length)
+			if got != want {
+				t.Fatalf("CheckRange[%#x,%#x) = %v, oracle = %v (base %#x)", l, r, got, want, base)
+			}
+			trials++
+		}
+	}
+	if trials < 1000 {
+		t.Fatal("too few trials")
+	}
+}
+
+// TestAccessCheckMatchesOracleProperty: instruction-level checks agree with
+// the oracle for every width 1..8 and every alignment.
+func TestAccessCheckMatchesOracleProperty(t *testing.T) {
+	e, ptrs, rng := env(t, 3)
+	g := e.San().(*core.Sanitizer)
+	o := e.Oracle()
+	for _, base := range ptrs {
+		for i := 0; i < 40; i++ {
+			delta := vmem.Addr(rng.Intn(2100))
+			w := uint64(rng.Intn(8) + 1)
+			p := base - 24 + delta // cover redzone, object, tail
+			got := g.CheckAccess(p, w, report.Read) == nil
+			want := o.Addressable(p, w)
+			if got != want {
+				t.Fatalf("CheckAccess(%#x, %d) = %v, oracle = %v", p, w, got, want)
+			}
+		}
+	}
+}
+
+// TestQuasiBoundSafetyProperty: invariant 3 — an access the cache accepts
+// is always oracle-addressable, under random traversal orders, as long as
+// the object is not freed mid-loop (that case is covered by Finish).
+func TestQuasiBoundSafetyProperty(t *testing.T) {
+	e := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 4 << 20, WithOracle: true})
+	g := e.San().(*core.Sanitizer)
+	o := e.Oracle()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		size := uint64(rng.Intn(4000) + 1)
+		base, err := e.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := g.NewCache()
+		for i := 0; i < 300; i++ {
+			off := int64(rng.Intn(int(size)+64)) - 16
+			w := uint64(rng.Intn(8) + 1)
+			got := c.CheckCached(base, off, w, report.Read) == nil
+			want := off >= 0 && o.Addressable(base+vmem.Addr(off), w)
+			if got && !want {
+				t.Fatalf("cache accepted bad access: size=%d off=%d w=%d", size, off, w)
+			}
+			if !got && off >= 0 && uint64(off)+w <= size {
+				t.Fatalf("cache rejected good access: size=%d off=%d w=%d", size, off, w)
+			}
+		}
+		if err := c.Finish(base, report.Read); err != nil {
+			t.Fatalf("Finish on live object: %v", err)
+		}
+	}
+}
+
+// TestAnchoredMatchesOracleWithOneByteRedzone: §4.4.1's claim — with
+// anchoring, even a minimal redzone catches any overflow distance, because
+// the check spans [anchor, access end).
+func TestAnchoredMatchesOracleProperty(t *testing.T) {
+	e, ptrs, rng := env(t, 5)
+	g := e.San().(*core.Sanitizer)
+	o := e.Oracle()
+	for _, base := range ptrs {
+		for i := 0; i < 30; i++ {
+			off := int64(rng.Intn(4000)) - 64
+			w := uint64(rng.Intn(8) + 1)
+			p := base + vmem.Addr(off)
+			got := g.CheckAnchored(base, p, w, report.Write) == nil
+			// The anchored check verifies the whole span between anchor
+			// and access.
+			var want bool
+			if off >= 0 {
+				want = o.Addressable(base, uint64(off)+w)
+			} else {
+				want = o.Addressable(p, uint64(-off)+w)
+			}
+			if got != want {
+				t.Fatalf("CheckAnchored(base=%#x, off=%d, w=%d) = %v, oracle = %v", base, off, w, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/shadow"
+	"giantsan/internal/vmem"
+)
+
+// newSan returns a GiantSan over a fresh 1 MiB space.
+func newSan(t *testing.T) (*vmem.Space, *Sanitizer) {
+	t.Helper()
+	sp := vmem.NewSpace(1 << 20)
+	return sp, New(sp)
+}
+
+// mark allocates a pseudo-object at base with redzones, mimicking what the
+// heap allocator does, without needing the allocator.
+func mark(g *Sanitizer, base vmem.Addr, size uint64) {
+	reserved := (size + 7) &^ 7
+	g.Poison(base-16, 16, san.RedzoneLeft)
+	g.MarkAllocated(base, size)
+	g.Poison(base+vmem.Addr(reserved), 16, san.RedzoneRight)
+}
+
+func TestShadowEncodingFigure5(t *testing.T) {
+	// The paper's Figure 5: a 68-byte object encodes as
+	// (3)(2)(2)(2)(2)(1)(1)(0) followed by a 4-partial segment.
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	g.MarkAllocated(base, 68)
+	snap := g.Shadow().Snapshot(g.Shadow().Index(base), 9)
+	want := []uint8{
+		FoldedCode(3), FoldedCode(2), FoldedCode(2), FoldedCode(2),
+		FoldedCode(2), FoldedCode(1), FoldedCode(1), FoldedCode(0),
+		PartialCode(4),
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("segment %d: code %d, want %d", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestInitialShadowPoisoned(t *testing.T) {
+	sp, g := newSan(t)
+	if err := g.CheckAccess(sp.Base(), 8, report.Read); err == nil {
+		t.Fatal("access to unallocated memory passed")
+	} else if err.Kind != report.WildAccess {
+		t.Errorf("kind = %v, want wild-access", err.Kind)
+	}
+}
+
+func TestCheckRangeWithinObject(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 1000)
+	// Whole object, prefixes, suffixes, interiors — all must pass.
+	cases := [][2]uint64{{0, 1000}, {0, 1}, {0, 8}, {0, 999}, {8, 1000}, {504, 1000}, {104, 872}, {992, 1000}, {17, 23}}
+	for _, c := range cases {
+		if err := g.CheckRange(base+vmem.Addr(c[0]), base+vmem.Addr(c[1]), report.Read); err != nil {
+			t.Errorf("CheckRange [%d,%d) inside 1000-byte object failed: %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestCheckRangeOverflow(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 1000)
+	for _, c := range [][2]uint64{{0, 1001}, {0, 1008}, {992, 1001}, {1000, 1001}, {0, 2000}} {
+		if err := g.CheckRange(base+vmem.Addr(c[0]), base+vmem.Addr(c[1]), report.Write); err == nil {
+			t.Errorf("CheckRange [%d,%d) beyond 1000-byte object passed", c[0], c[1])
+		}
+	}
+}
+
+func TestCheckRangeUnderflow(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	err := g.CheckRange(base-8, base+8, report.Read)
+	if err == nil {
+		t.Fatal("underflowing range passed")
+	}
+	if err.Kind != report.HeapBufferUnderflow {
+		t.Errorf("kind = %v, want heap-buffer-underflow", err.Kind)
+	}
+}
+
+func TestCheckRangeEmptyAndUnaligned(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 100)
+	if err := g.CheckRange(base+10, base+10, report.Read); err != nil {
+		t.Errorf("empty range failed: %v", err)
+	}
+	// Unaligned L within the object.
+	if err := g.CheckRange(base+3, base+97, report.Read); err != nil {
+		t.Errorf("unaligned range failed: %v", err)
+	}
+	// Unaligned L, overflow at the end.
+	if err := g.CheckRange(base+3, base+101, report.Read); err == nil {
+		t.Error("unaligned overflowing range passed")
+	}
+	// Range entirely within one unaligned head segment.
+	if err := g.CheckRange(base+1, base+7, report.Read); err != nil {
+		t.Errorf("head-only range failed: %v", err)
+	}
+}
+
+func TestCheckRangePartialSegmentBoundary(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 68) // 8 segments + 4-partial
+	if err := g.CheckRange(base, base+68, report.Read); err != nil {
+		t.Errorf("exact object range failed: %v", err)
+	}
+	if err := g.CheckRange(base, base+69, report.Read); err == nil {
+		t.Error("one-past-partial range passed")
+	}
+	if err := g.CheckRange(base+64, base+68, report.Read); err != nil {
+		t.Errorf("partial-only range failed: %v", err)
+	}
+	if err := g.CheckRange(base+64, base+72, report.Read); err == nil {
+		t.Error("full-segment range over 4-partial passed")
+	}
+}
+
+func TestCheckAccessWidths(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 24)
+	for w := uint64(1); w <= 8; w++ {
+		if err := g.CheckAccess(base, w, report.Read); err != nil {
+			t.Errorf("width %d at base failed: %v", w, err)
+		}
+		if err := g.CheckAccess(base+vmem.Addr(24-w), w, report.Read); err != nil {
+			t.Errorf("width %d at end failed: %v", w, err)
+		}
+		if err := g.CheckAccess(base+vmem.Addr(25-w), w, report.Read); err == nil {
+			t.Errorf("width %d one past end passed", w)
+		}
+	}
+}
+
+func TestCheckAnchoredDetectsRedzoneBypass(t *testing.T) {
+	// Two adjacent objects: a plain access beyond the redzone of the first
+	// lands in the second and is missed by instruction-level checking; the
+	// anchored check catches it (§4.4.1).
+	sp, g := newSan(t)
+	a := sp.Base() + 1024
+	mark(g, a, 64)
+	// Next object 128 bytes later: far enough to jump the 16-byte redzone.
+	b := a + 128
+	mark(g, b, 64)
+
+	overflowAddr := b + 8 // lands inside object b: addressable bytes
+	if err := g.CheckAccess(overflowAddr, 8, report.Write); err != nil {
+		t.Fatalf("plain check should miss the bypass: %v", err)
+	}
+	if err := g.CheckAnchored(a, overflowAddr, 8, report.Write); err == nil {
+		t.Fatal("anchored check missed the redzone bypass")
+	}
+}
+
+func TestCheckAnchoredUnderflow(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	if err := g.CheckAnchored(base, base-8, 4, report.Read); err == nil {
+		t.Error("anchored underflow passed")
+	}
+	if err := g.CheckAnchored(base, base+8, 8, report.Read); err != nil {
+		t.Errorf("valid anchored access failed: %v", err)
+	}
+}
+
+func TestCheckRangeFreed(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	g.Poison(base, 64, san.HeapFreed)
+	err := g.CheckRange(base, base+8, report.Read)
+	if err == nil {
+		t.Fatal("freed access passed")
+	}
+	if err.Kind != report.UseAfterFree {
+		t.Errorf("kind = %v, want use-after-free", err.Kind)
+	}
+}
+
+func TestNullAndWild(t *testing.T) {
+	_, g := newSan(t)
+	err := g.CheckAccess(0, 8, report.Write)
+	if err == nil || err.Kind != report.NullDereference {
+		t.Errorf("null access: %v", err)
+	}
+	err = g.CheckAccess(1<<40, 8, report.Write)
+	if err == nil || err.Kind != report.WildAccess {
+		t.Errorf("wild access: %v", err)
+	}
+}
+
+// TestConstantTimeRegionCheck asserts the headline complexity claim: the
+// number of shadow loads for CheckRange is bounded by a constant, no
+// matter the region size.
+func TestConstantTimeRegionCheck(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 4096
+	size := uint64(256 << 10)
+	g.MarkAllocated(base, size)
+	for _, n := range []uint64{8, 64, 1 << 10, 32 << 10, size} {
+		before := g.Stats().ShadowLoads
+		if err := g.CheckRange(base, base+vmem.Addr(n), report.Read); err != nil {
+			t.Fatalf("CheckRange(%d): %v", n, err)
+		}
+		loads := g.Stats().ShadowLoads - before
+		if loads > 4 {
+			t.Errorf("CheckRange over %d bytes used %d shadow loads; O(1) bound is 4", n, loads)
+		}
+	}
+}
+
+// TestASanWouldBeLinear is the contrast fixture: checking 1 KiB costs
+// GiantSan at most 4 loads where the paper notes ASan needs 128.
+func TestFastCheckCoversMajority(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 4096
+	g.MarkAllocated(base, 1<<10)
+	// A region within the first half is covered by the fast check alone.
+	before := *g.Stats()
+	if err := g.CheckRange(base, base+512, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().FastChecks != before.FastChecks+1 {
+		t.Error("fast check did not suffice for a half-object region")
+	}
+	if g.Stats().ShadowLoads != before.ShadowLoads+1 {
+		t.Errorf("fast check used %d loads, want 1", g.Stats().ShadowLoads-before.ShadowLoads)
+	}
+}
+
+func TestLocateBound(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	for _, size := range []uint64{8, 64, 68, 1000, 4096, 100000} {
+		g = New(sp) // fresh shadow per size
+		g.MarkAllocated(base, size)
+		n, skips := g.LocateBound(base)
+		if n != size {
+			t.Errorf("size %d: LocateBound = %d", size, n)
+		}
+		// ⌈log2(size/8)⌉ + 1 skips at most.
+		maxSkips := 1
+		for s := uint64(8); s < size; s *= 2 {
+			maxSkips++
+		}
+		if skips > maxSkips {
+			t.Errorf("size %d: %d skips, bound %d", size, skips, maxSkips)
+		}
+	}
+}
+
+func TestPoisonKinds(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	kinds := map[san.PoisonKind]report.Kind{
+		san.RedzoneLeft:      report.HeapBufferUnderflow,
+		san.RedzoneRight:     report.HeapBufferOverflow,
+		san.HeapFreed:        report.UseAfterFree,
+		san.StackRedzone:     report.StackBufferOverflow,
+		san.StackAfterReturn: report.UseAfterReturn,
+		san.GlobalRedzone:    report.GlobalBufferOverflow,
+	}
+	for pk, want := range kinds {
+		g.Poison(base, 8, pk)
+		err := g.CheckAccess(base, 8, report.Read)
+		if err == nil || err.Kind != want {
+			t.Errorf("poison %v: got %v, want kind %v", pk, err, want)
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	sp, g := newSan(t)
+	base := sp.Base() + 1024
+	mark(g, base, 64)
+	g.Stats().Reset()
+	g.CheckRange(base, base+64, report.Read)
+	st := g.Stats()
+	if st.Checks != 1 || st.RangeChecks != 1 {
+		t.Errorf("Checks=%d RangeChecks=%d", st.Checks, st.RangeChecks)
+	}
+	if st.FastChecks+st.SlowChecks != 1 {
+		t.Errorf("fast+slow = %d, want 1", st.FastChecks+st.SlowChecks)
+	}
+}
+
+func TestSegmentAlignmentAssumption(t *testing.T) {
+	// Objects from the allocators are 8-byte aligned; MarkAllocated on an
+	// aligned base must produce a shadow whose first segment summarizes
+	// the whole object.
+	sp, g := newSan(t)
+	base := sp.Base() + 2048
+	g.MarkAllocated(base, 4096)
+	v := g.Shadow().Load(base)
+	if !IsFolded(v) {
+		t.Fatalf("first segment not folded: %d", v)
+	}
+	if SummaryBytes(v) != 4096 {
+		t.Errorf("first segment summarizes %d bytes, want 4096", SummaryBytes(v))
+	}
+	_ = shadow.SegSize
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"giantsan/internal/oracle"
+	"giantsan/internal/shadow"
+	"giantsan/internal/vmem"
+)
+
+// ValidateShadow checks every encoding invariant of Definition 1 against
+// ground truth, over the whole shadow:
+//
+//  1. a folded code (i) at segment p ⇒ the next 8·2^i bytes are
+//     oracle-addressable;
+//  2. a k-partial code ⇒ exactly the first k bytes of the segment are
+//     addressable;
+//  3. an error code ⇒ the segment contains no addressable byte run that
+//     starts at its first byte (the segment is not "good");
+//  4. conversely, every fully-addressable segment carries a folded code
+//     (no lost summaries).
+//
+// It returns the first violation found, or nil. The fuzzer and property
+// tests run it after every mutation batch, so a poisoning bug cannot hide
+// behind checks that happen to agree.
+func (g *Sanitizer) ValidateShadow(o *oracle.Oracle) error {
+	sh := g.sh
+	limit := sh.SegStart(sh.NumSegments()-1) + shadow.SegSize
+	for seg := 0; seg < sh.NumSegments(); seg++ {
+		code := sh.LoadSeg(seg)
+		start := sh.SegStart(seg)
+		segAddressable := o.Addressable(start, shadow.SegSize)
+		switch {
+		case IsFolded(code):
+			n := SummaryBytes(code)
+			if start+vmem.Addr(n) > limit {
+				return fmt.Errorf("core: segment %d code %d claims %d bytes, past the space limit %#x",
+					seg, code, n, limit)
+			}
+			if !o.Addressable(start, n) {
+				return fmt.Errorf("core: segment %d code %d claims %d bytes addressable, oracle disagrees at %#x",
+					seg, code, n, start)
+			}
+		case IsPartial(code):
+			k := uint64(PartialK(code))
+			if !o.Addressable(start, k) {
+				return fmt.Errorf("core: partial segment %d claims %d bytes, oracle disagrees", seg, k)
+			}
+			if o.Addressable(start, k+1) {
+				return fmt.Errorf("core: partial segment %d claims only %d bytes but byte %d is addressable",
+					seg, k, k)
+			}
+		default:
+			if segAddressable {
+				return fmt.Errorf("core: segment %d has error code %d but is fully addressable", seg, code)
+			}
+		}
+		if segAddressable && !IsFolded(code) {
+			return fmt.Errorf("core: fully addressable segment %d lost its summary (code %d)", seg, code)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"giantsan/internal/core"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// TestValidateShadowOnChurn runs ValidateShadow after waves of random
+// allocator activity — the strongest whole-shadow consistency check.
+func TestValidateShadowOnChurn(t *testing.T) {
+	env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 4 << 20, WithOracle: true})
+	g := env.San().(*core.Sanitizer)
+	rng := rand.New(rand.NewSource(21))
+	var live []vmem.Addr
+	for wave := 0; wave < 20; wave++ {
+		for i := 0; i < 50; i++ {
+			p, err := env.Malloc(uint64(rng.Intn(3000) + 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+		for i := 0; i < 25 && len(live) > 0; i++ {
+			idx := rng.Intn(len(live))
+			if err := env.Free(live[idx]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+		if err := g.ValidateShadow(env.Oracle()); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+	}
+}
+
+// TestValidateShadowCatchesCorruption: a deliberately corrupted shadow
+// byte must be flagged — the validator is not a tautology.
+func TestValidateShadowCatchesCorruption(t *testing.T) {
+	env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 1 << 20, WithOracle: true})
+	g := env.San().(*core.Sanitizer)
+	base, _ := env.Malloc(256)
+	if err := g.ValidateShadow(env.Oracle()); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+	// Inflate a folding degree: the summary now overclaims.
+	sh := g.Shadow()
+	seg := sh.Index(base)
+	sh.StoreSeg(seg, core.FoldedCode(20))
+	err := g.ValidateShadow(env.Oracle())
+	if err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Errorf("overclaiming summary not caught: %v", err)
+	}
+	// Restore, then poison a live segment: a lost summary.
+	g.MarkAllocated(base, 256)
+	sh.StoreSeg(seg, core.CodeHeapFreed)
+	err = g.ValidateShadow(env.Oracle())
+	if err == nil {
+		t.Error("lost summary not caught")
+	}
+}

@@ -1,0 +1,51 @@
+package flaws
+
+import (
+	"testing"
+
+	"giantsan/internal/tool"
+)
+
+func mkTools() []*tool.Tool {
+	return []*tool.Tool{
+		tool.New(tool.Config{Kind: tool.GiantSan, HeapBytes: 4 << 20}),
+		tool.New(tool.Config{Kind: tool.ASan, HeapBytes: 4 << 20}),
+		tool.New(tool.Config{Kind: tool.ASanMinus, HeapBytes: 4 << 20}),
+		tool.New(tool.Config{Kind: tool.LFP, HeapBytes: 4 << 20}),
+	}
+}
+
+func TestPopulation(t *testing.T) {
+	cves := All()
+	if len(cves) != 25 {
+		t.Errorf("CVE count = %d, want 25 (the Table 4 rows)", len(cves))
+	}
+	programs := map[string]bool{}
+	for _, c := range cves {
+		programs[c.Program] = true
+	}
+	if len(programs) != 8 {
+		t.Errorf("programs = %d, want 8", len(programs))
+	}
+}
+
+// TestTable4Shape: GiantSan/ASan/ASan-- detect every CVE; LFP misses
+// exactly the paper's three.
+func TestTable4Shape(t *testing.T) {
+	misses := LFPMisses()
+	for _, r := range Run(mkTools) {
+		id := r.CVE.ID
+		for _, name := range []string{"giantsan", "asan", "asan--"} {
+			if !r.Detected[name] {
+				t.Errorf("%s: %s missed (%s)", id, name, r.CVE.Kind)
+			}
+		}
+		if misses[id] {
+			if r.Detected["lfp"] {
+				t.Errorf("%s: LFP detected but the paper reports a miss (%s)", id, r.CVE.Kind)
+			}
+		} else if !r.Detected["lfp"] {
+			t.Errorf("%s: LFP missed but the paper reports detection (%s)", id, r.CVE.Kind)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package heap
+
+import (
+	"fmt"
+
+	"giantsan/internal/vmem"
+)
+
+// ChunkInfo describes the allocation nearest a faulting address, the raw
+// material for ASan-style report annotations ("0x... is located 4 bytes
+// to the right of 100-byte region ...").
+type ChunkInfo struct {
+	UserBase vmem.Addr
+	UserSize uint64
+	// State is "live", "quarantined" or "free".
+	State string
+	Label string
+	// Offset is addr − UserBase (negative in the left redzone).
+	Offset int64
+}
+
+// Relation renders the classic ASan position phrase for the address the
+// info was located from.
+func (ci ChunkInfo) Relation() string {
+	switch {
+	case ci.Offset < 0:
+		return fmt.Sprintf("%d bytes to the left of", -ci.Offset)
+	case uint64(ci.Offset) < ci.UserSize:
+		return fmt.Sprintf("%d bytes inside of", ci.Offset)
+	default:
+		return fmt.Sprintf("%d bytes to the right of", uint64(ci.Offset)-ci.UserSize)
+	}
+}
+
+// String renders the full annotation line.
+func (ci ChunkInfo) String() string {
+	s := fmt.Sprintf("%s %d-byte region [%#x,%#x)",
+		ci.Relation(), ci.UserSize, ci.UserBase, ci.UserBase+vmem.Addr(ci.UserSize))
+	if ci.State != "live" {
+		s += " (" + ci.State + ")"
+	}
+	if ci.Label != "" {
+		s += " allocated as " + ci.Label
+	}
+	return s
+}
+
+// Locate finds the chunk whose full extent (redzones included) contains
+// addr, or the nearest chunk within slack bytes. It walks the chunk table
+// — an error-path-only cost, exactly like ASan's report machinery.
+func (a *Allocator) Locate(addr vmem.Addr, slack uint64) (ChunkInfo, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var best *chunk
+	var bestDist uint64 = ^uint64(0)
+	for _, c := range a.chunks {
+		lo, hi := c.start, c.start+vmem.Addr(c.size)
+		var dist uint64
+		switch {
+		case addr >= lo && addr < hi:
+			dist = 0
+		case addr < lo:
+			dist = uint64(lo - addr)
+		default:
+			dist = uint64(addr - hi + 1)
+		}
+		if dist < bestDist {
+			bestDist = dist
+			best = c
+		}
+	}
+	if best == nil || bestDist > slack {
+		return ChunkInfo{}, false
+	}
+	state := "live"
+	switch best.state {
+	case stateQuarantined:
+		state = "quarantined"
+	case stateFree:
+		state = "free"
+	}
+	return ChunkInfo{
+		UserBase: best.userBase,
+		UserSize: best.userSize,
+		State:    state,
+		Label:    best.label,
+		Offset:   int64(addr) - int64(best.userBase),
+	}, true
+}

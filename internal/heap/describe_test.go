@@ -1,0 +1,68 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+
+	"giantsan/internal/vmem"
+)
+
+func TestLocateInside(t *testing.T) {
+	a, _, _ := newHeap(t, Config{})
+	p, _ := a.MallocLabeled(100, "packet")
+	ci, ok := a.Locate(p+50, 0)
+	if !ok {
+		t.Fatal("Locate failed inside chunk")
+	}
+	if ci.UserBase != p || ci.UserSize != 100 || ci.Offset != 50 || ci.State != "live" || ci.Label != "packet" {
+		t.Errorf("ci = %+v", ci)
+	}
+	if !strings.Contains(ci.String(), "50 bytes inside of 100-byte region") {
+		t.Errorf("String = %q", ci.String())
+	}
+	if !strings.Contains(ci.String(), "packet") {
+		t.Errorf("label missing: %q", ci.String())
+	}
+}
+
+func TestLocateRedzones(t *testing.T) {
+	a, _, _ := newHeap(t, Config{})
+	p, _ := a.Malloc(64)
+	right, ok := a.Locate(p+68, 0)
+	if !ok || !strings.Contains(right.Relation(), "4 bytes to the right of") {
+		t.Errorf("right: %v %v", right.Relation(), ok)
+	}
+	left, ok := a.Locate(p-4, 0)
+	if !ok || !strings.Contains(left.Relation(), "4 bytes to the left of") {
+		t.Errorf("left: %v %v", left.Relation(), ok)
+	}
+}
+
+func TestLocateFreedAndSlack(t *testing.T) {
+	a, _, _ := newHeap(t, Config{})
+	p, _ := a.Malloc(64)
+	a.Free(p)
+	ci, ok := a.Locate(p, 0)
+	if !ok || ci.State != "quarantined" {
+		t.Errorf("ci = %+v, ok=%v", ci, ok)
+	}
+	if !strings.Contains(ci.String(), "(quarantined)") {
+		t.Errorf("String = %q", ci.String())
+	}
+	// Far away: not found without slack, found with it.
+	far := p + 4096
+	if _, ok := a.Locate(far, 0); ok {
+		t.Error("far address located without slack")
+	}
+	if _, ok := a.Locate(far, 1<<20); !ok {
+		t.Error("far address not located with slack")
+	}
+}
+
+func TestLocateEmptyHeap(t *testing.T) {
+	sp := vmem.NewSpace(1 << 16)
+	a := New(sp, newRecPoisoner(sp), Config{})
+	if _, ok := a.Locate(sp.Base(), 1<<20); ok {
+		t.Error("Locate on empty heap should fail")
+	}
+}

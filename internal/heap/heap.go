@@ -1,0 +1,326 @@
+// Package heap implements the simulated heap allocator that stands in for
+// the sanitizer runtime's malloc/free interposition.
+//
+// The layout follows ASan's allocator, which GiantSan reuses unchanged
+// (§4.5): every chunk is [left redzone][user region][right redzone], user
+// pointers are 8-byte aligned, freed chunks enter a FIFO quarantine with a
+// byte budget before their memory can be reused, and a thread-cache layer
+// batches frees to avoid taking the central lock on every call.
+//
+// The allocator is encoding-agnostic: it drives a san.Poisoner, so the same
+// allocator produces ASan's zero/partial codes or GiantSan's folded
+// segments depending on which sanitizer is plugged in.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"giantsan/internal/oracle"
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// Align is the allocation alignment every location-based sanitizer in the
+// paper assumes (objects are 8-byte aligned).
+const Align = 8
+
+// DefaultRedzone is the default redzone size in bytes (the paper's default
+// setting for GiantSan, ASan and ASan--).
+const DefaultRedzone = 16
+
+// DefaultQuarantine is the default quarantine budget in bytes. The real
+// ASan default is 256 MiB; the simulated arenas are far smaller, so the
+// default scales down while preserving the FIFO delayed-reuse behaviour.
+const DefaultQuarantine = 1 << 20
+
+// ErrOutOfMemory is returned when the arena cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("heap: simulated arena exhausted")
+
+// chunkState tracks the lifecycle of a chunk.
+type chunkState uint8
+
+const (
+	stateLive chunkState = iota
+	stateQuarantined
+	stateFree
+)
+
+// chunk is the allocator-side record of one allocation.
+type chunk struct {
+	start    vmem.Addr // first byte of the left redzone
+	size     uint64    // full extent including both redzones
+	userBase vmem.Addr
+	userSize uint64 // requested (possibly unaligned) size
+	state    chunkState
+	label    string
+}
+
+func (c *chunk) userReserved() uint64 { return alignUp(c.userSize) }
+
+func alignUp(n uint64) uint64 { return (n + Align - 1) &^ (Align - 1) }
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// Redzone is the size of each redzone in bytes; rounded up to 8.
+	// Zero means DefaultRedzone.
+	Redzone uint64
+	// QuarantineBytes is the FIFO quarantine budget. Zero means
+	// DefaultQuarantine. Negative... use NoQuarantine to disable.
+	QuarantineBytes uint64
+	// NoQuarantine disables delayed reuse entirely (used by the LFP
+	// baseline, which has no temporal protection by quarantine).
+	NoQuarantine bool
+	// Oracle, when non-nil, mirrors every allocator action into the
+	// ground-truth oracle so property tests and detection suites can
+	// compare sanitizer verdicts with reality.
+	Oracle *oracle.Oracle
+	// Start and Limit bound the arena region inside the space; both zero
+	// means the whole space. They must be 8-byte aligned.
+	Start, Limit vmem.Addr
+}
+
+// Allocator is a segregated-free-list heap allocator over a simulated
+// address space.
+type Allocator struct {
+	mu      sync.Mutex
+	space   *vmem.Space
+	p       san.Poisoner
+	cfg     Config
+	rz      uint64
+	start   vmem.Addr // heap region start
+	limit   vmem.Addr // heap region limit
+	bump    vmem.Addr
+	chunks  map[vmem.Addr]*chunk // keyed by userBase; live + quarantined + free
+	free    map[uint64][]*chunk  // free chunks keyed by full chunk size
+	quar    []*chunk             // FIFO quarantine
+	quarLen uint64               // quarantined bytes
+
+	stats AllocStats
+}
+
+// AllocStats counts allocator activity.
+type AllocStats struct {
+	Mallocs, Frees   uint64
+	BytesAllocated   uint64
+	BytesLive        uint64
+	QuarantinePushes uint64
+	QuarantinePops   uint64
+	FreeListReuses   uint64
+}
+
+// New returns an allocator managing [space.Base(), space.Limit()) minus a
+// small guard at each end, poisoning through p.
+func New(space *vmem.Space, p san.Poisoner, cfg Config) *Allocator {
+	if cfg.Redzone == 0 {
+		cfg.Redzone = DefaultRedzone
+	}
+	if cfg.QuarantineBytes == 0 {
+		cfg.QuarantineBytes = DefaultQuarantine
+	}
+	start, limit := cfg.Start, cfg.Limit
+	if start == 0 && limit == 0 {
+		start, limit = space.Base(), space.Limit()
+	}
+	a := &Allocator{
+		space:  space,
+		p:      p,
+		cfg:    cfg,
+		rz:     alignUp(cfg.Redzone),
+		start:  start,
+		limit:  limit,
+		bump:   start,
+		chunks: make(map[vmem.Addr]*chunk),
+		free:   make(map[uint64][]*chunk),
+	}
+	return a
+}
+
+// Space returns the underlying address space.
+func (a *Allocator) Space() *vmem.Space { return a.space }
+
+// Redzone returns the configured redzone size (aligned).
+func (a *Allocator) Redzone() uint64 { return a.rz }
+
+// Stats returns a copy of the allocator counters.
+func (a *Allocator) Stats() AllocStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// chunkSizeFor returns the full chunk footprint for a user size.
+func (a *Allocator) chunkSizeFor(userSize uint64) uint64 {
+	return a.rz + alignUp(userSize) + a.rz
+}
+
+// Malloc allocates size bytes (size ≥ 1; size 0 is promoted to 1, matching
+// malloc(0) returning a unique pointer) and returns the 8-byte-aligned user
+// base address.
+func (a *Allocator) Malloc(size uint64) (vmem.Addr, error) {
+	return a.MallocLabeled(size, "")
+}
+
+// MallocLabeled is Malloc with a diagnostic label recorded in reports and
+// the oracle.
+func (a *Allocator) MallocLabeled(size uint64, label string) (vmem.Addr, error) {
+	if size == 0 {
+		size = 1
+	}
+	a.mu.Lock()
+	c, err := a.takeChunk(a.chunkSizeFor(size))
+	if err != nil {
+		a.mu.Unlock()
+		return 0, err
+	}
+	c.userBase = c.start + a.rz
+	c.userSize = size
+	c.state = stateLive
+	c.label = label
+	a.chunks[c.userBase] = c
+	a.stats.Mallocs++
+	a.stats.BytesAllocated += size
+	a.stats.BytesLive += size
+	a.mu.Unlock()
+
+	// Poison outside the lock: shadow for this chunk is owned by it.
+	a.p.Poison(c.start, a.rz, san.RedzoneLeft)
+	a.p.MarkAllocated(c.userBase, c.userSize)
+	a.p.Poison(c.userBase+c.userReserved(), a.rz, san.RedzoneRight)
+	if a.cfg.Oracle != nil {
+		// The alignment tail between userSize and userReserved is redzone
+		// territory in ground truth.
+		tail := c.userReserved() - c.userSize
+		a.cfg.Oracle.Alloc(c.userBase, c.userSize, a.rz, a.rz+tail, oracle.Heap, label)
+	}
+	return c.userBase, nil
+}
+
+// takeChunk acquires a chunk with the given full size, reusing the free
+// list before extending the bump frontier. Caller holds the lock.
+func (a *Allocator) takeChunk(full uint64) (*chunk, error) {
+	if list := a.free[full]; len(list) > 0 {
+		c := list[len(list)-1]
+		a.free[full] = list[:len(list)-1]
+		delete(a.chunks, c.userBase)
+		a.stats.FreeListReuses++
+		if a.cfg.Oracle != nil {
+			a.cfg.Oracle.Recycle(c.userBase, c.userSize)
+		}
+		return c, nil
+	}
+	if a.bump+vmem.Addr(full) > a.limit {
+		return nil, fmt.Errorf("%w: need %d bytes, %d left", ErrOutOfMemory, full, a.limit-a.bump)
+	}
+	c := &chunk{start: a.bump, size: full}
+	a.bump += vmem.Addr(full)
+	return c, nil
+}
+
+// Free deallocates the allocation at p. It reports double frees and frees
+// of non-allocation addresses instead of corrupting state.
+func (a *Allocator) Free(p vmem.Addr) *report.Error {
+	a.mu.Lock()
+	c, ok := a.chunks[p]
+	if !ok {
+		a.mu.Unlock()
+		return &report.Error{Kind: report.InvalidFree, Access: report.FreeOp, Addr: p}
+	}
+	switch c.state {
+	case stateQuarantined, stateFree:
+		a.mu.Unlock()
+		return &report.Error{Kind: report.DoubleFree, Access: report.FreeOp, Addr: p, Context: c.label}
+	}
+	c.state = stateQuarantined
+	a.stats.Frees++
+	a.stats.BytesLive -= c.userSize
+	var popped []*chunk
+	if a.cfg.NoQuarantine {
+		popped = append(popped, c)
+	} else {
+		a.quar = append(a.quar, c)
+		a.quarLen += c.size
+		a.stats.QuarantinePushes++
+		for a.quarLen > a.cfg.QuarantineBytes && len(a.quar) > 0 {
+			old := a.quar[0]
+			a.quar = a.quar[1:]
+			a.quarLen -= old.size
+			a.stats.QuarantinePops++
+			popped = append(popped, old)
+		}
+	}
+	for _, old := range popped {
+		old.state = stateFree
+		a.free[old.size] = append(a.free[old.size], old)
+	}
+	a.mu.Unlock()
+
+	// The whole user region becomes non-addressable "freed" memory. The
+	// redzones keep their codes (they stay non-addressable either way).
+	a.p.Poison(c.userBase, c.userReserved(), san.HeapFreed)
+	if a.cfg.Oracle != nil {
+		a.cfg.Oracle.Free(p)
+	}
+	return nil
+}
+
+// Realloc resizes the allocation at p following C semantics as ASan
+// interposes them: a fresh chunk is allocated, min(old,new) bytes of
+// content are copied, and the old chunk is freed into the quarantine —
+// so stale pointers into the old region are detected like any UAF.
+// Realloc(0, size) behaves as Malloc; invalid p is reported.
+func (a *Allocator) Realloc(p vmem.Addr, size uint64) (vmem.Addr, *report.Error, error) {
+	if p == 0 {
+		np, err := a.Malloc(size)
+		return np, nil, err
+	}
+	oldSize, ok := a.UserSize(p)
+	if !ok {
+		return 0, &report.Error{Kind: report.InvalidFree, Access: report.FreeOp, Addr: p}, nil
+	}
+	np, err := a.Malloc(size)
+	if err != nil {
+		return 0, nil, err
+	}
+	a.space.Memcpy(np, p, min(oldSize, size))
+	if rerr := a.Free(p); rerr != nil {
+		return np, rerr, nil
+	}
+	return np, nil, nil
+}
+
+// UserSize returns the requested size of the live allocation at p, or
+// (0, false) if p is not a live allocation base.
+func (a *Allocator) UserSize(p vmem.Addr) (uint64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.chunks[p]
+	if !ok || c.state != stateLive {
+		return 0, false
+	}
+	return c.userSize, true
+}
+
+// QuarantineLen returns the number of chunks currently quarantined.
+func (a *Allocator) QuarantineLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.quar)
+}
+
+// LiveBytes returns the bytes in live allocations.
+func (a *Allocator) LiveBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats.BytesLive
+}
+
+// Footprint returns the arena bytes consumed so far (chunks plus their
+// redzones): the memory-overhead measure the redzone ablation reports.
+func (a *Allocator) Footprint() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(a.bump - a.start)
+}

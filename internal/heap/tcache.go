@@ -1,0 +1,74 @@
+package heap
+
+import (
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// TCache is a thread-local allocation cache in the style of the ASan
+// allocator's per-thread caches, which GiantSan inherits (§4.5: "thread-local
+// caches are utilized to avoid locking on every call of the malloc and free
+// functions").
+//
+// A TCache batches frees per size class and hands batches to the central
+// allocator. It is NOT safe for concurrent use — that is the point: each
+// simulated thread owns one.
+type TCache struct {
+	a *Allocator
+	// pending holds freed pointers not yet flushed to the central
+	// quarantine, keyed by nothing (order preserved).
+	pending []vmem.Addr
+	// FlushAt is the batch size; zero means 64.
+	FlushAt int
+}
+
+// NewTCache returns a thread cache over a.
+func (a *Allocator) NewTCache() *TCache { return &TCache{a: a} }
+
+// Malloc allocates through the central allocator. (Allocation fast paths
+// are not simulated; the measurable behaviour — poisoning and layout — is
+// identical either way.)
+func (t *TCache) Malloc(size uint64) (vmem.Addr, error) { return t.a.Malloc(size) }
+
+// Free records the free locally and flushes a batch when full. Invalid and
+// double frees are still detected immediately: detection must not depend on
+// flush timing.
+func (t *TCache) Free(p vmem.Addr) *report.Error {
+	t.a.mu.Lock()
+	c, ok := t.a.chunks[p]
+	bad := !ok || c.state != stateLive
+	t.a.mu.Unlock()
+	if bad {
+		// Delegate so the error classification logic stays in one place.
+		return t.a.Free(p)
+	}
+	// Poison immediately: temporal detection must not depend on flush
+	// timing. The central Free re-poisons at flush, which is harmless.
+	t.a.p.Poison(c.userBase, c.userReserved(), san.HeapFreed)
+	t.pending = append(t.pending, p)
+	limit := t.FlushAt
+	if limit == 0 {
+		limit = 64
+	}
+	if len(t.pending) >= limit {
+		return t.Flush()
+	}
+	return nil
+}
+
+// Flush pushes all pending frees to the central allocator. The first error
+// (if any) is returned.
+func (t *TCache) Flush() *report.Error {
+	var first *report.Error
+	for _, p := range t.pending {
+		if err := t.a.Free(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.pending = t.pending[:0]
+	return first
+}
+
+// Pending returns the number of unflushed frees.
+func (t *TCache) Pending() int { return len(t.pending) }

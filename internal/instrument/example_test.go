@@ -1,0 +1,54 @@
+package instrument_test
+
+import (
+	"fmt"
+
+	"giantsan/internal/analysis"
+	"giantsan/internal/instrument"
+	"giantsan/internal/ir"
+)
+
+// Example reproduces the paper's Figure 8 walkthrough: the check plan for
+//
+//	void foo(int **p, int N) {
+//	    int *x = p[0];
+//	    int *y = p[1];
+//	    for (int i = 0; i < N; i++) { int j = x[i]; y[j] = i; }
+//	    memset(x, 0, N*sizeof(int));
+//	}
+//
+// Under GiantSan's full profile: p[0]/p[1] merge into one group check,
+// x[i] promotes to the loop preheader, y[j] is cached, and the memset
+// gets one region check — Figure 8c exactly.
+func Example() {
+	loadX := &ir.Load{Dst: "x", Base: "p", Idx: ir.Const(0), Scale: 8, Size: 8}
+	loadY := &ir.Load{Dst: "y", Base: "p", Idx: ir.Const(1), Scale: 8, Size: 8}
+	loadXI := &ir.Load{Dst: "j", Base: "x", Idx: ir.Var("i"), Scale: 4, Size: 4}
+	storeYJ := &ir.Store{Base: "y", Idx: ir.Var("j"), Scale: 4, Size: 4, Val: ir.Var("i")}
+	loop := &ir.Loop{Var: "i", N: ir.Var("N"), Bounded: true, Body: []ir.Stmt{loadXI, storeYJ}}
+	mset := &ir.Memset{Base: "x", Val: ir.Const(0),
+		Len: ir.Bin{Op: ir.Mul, L: ir.Var("N"), R: ir.Const(4)}}
+	prog := &ir.Prog{Name: "figure8", Body: []ir.Stmt{
+		&ir.Decl{Name: "N", Init: ir.Const(100)},
+		&ir.Malloc{Dst: "p", Size: ir.Const(16)},
+		loadX, loadY, loop, mset,
+	}}
+
+	facts := analysis.Analyze(prog)
+	plan := instrument.Build(prog, instrument.GiantSanProfile, facts)
+
+	fmt.Println("p[0]:", plan.Mode[loadX])
+	fmt.Println("p[1]:", plan.Mode[loadY])
+	fmt.Println("x[i]:", plan.Mode[loadXI])
+	fmt.Println("y[j]:", plan.Mode[storeYJ])
+	fmt.Println("memset:", plan.Mode[mset])
+	pre := plan.Pre[loop][0]
+	fmt.Printf("preheader: CI(%s, %s + %d*N + %d)\n", pre.Base, pre.Base, pre.Scale, pre.Size)
+	// Output:
+	// p[0]: group
+	// p[1]: eliminated
+	// x[i]: eliminated
+	// y[j]: cached
+	// memset: region
+	// preheader: CI(x, x + 4*N + 4)
+}

@@ -1,0 +1,213 @@
+package instrument
+
+import (
+	"testing"
+
+	"giantsan/internal/analysis"
+	"giantsan/internal/ir"
+)
+
+// figure8 is the paper's running example (Figure 8a).
+func figure8() (*ir.Prog, map[string]ir.Stmt, *ir.Loop) {
+	loadX := &ir.Load{Dst: "x", Base: "p", Idx: ir.Const(0), Scale: 8, Size: 8}
+	loadY := &ir.Load{Dst: "y", Base: "p", Idx: ir.Const(1), Scale: 8, Size: 8}
+	loadXI := &ir.Load{Dst: "j", Base: "x", Idx: ir.Var("i"), Scale: 4, Size: 4}
+	storeYJ := &ir.Store{Base: "y", Idx: ir.Var("j"), Scale: 4, Size: 4, Val: ir.Var("i")}
+	loop := &ir.Loop{Var: "i", N: ir.Var("N"), Bounded: true, Body: []ir.Stmt{loadXI, storeYJ}}
+	mset := &ir.Memset{Base: "x", Val: ir.Const(0), Len: ir.Bin{Op: ir.Mul, L: ir.Var("N"), R: ir.Const(4)}}
+	prog := &ir.Prog{Name: "figure8", Body: []ir.Stmt{
+		&ir.Decl{Name: "N", Init: ir.Const(100)},
+		&ir.Malloc{Dst: "p", Size: ir.Const(16)},
+		loadX, loadY, loop, mset,
+	}}
+	return prog, map[string]ir.Stmt{"loadX": loadX, "loadY": loadY, "loadXI": loadXI, "storeYJ": storeYJ, "mset": mset}, loop
+}
+
+// TestFigure8GiantSanPlan reproduces Figure 8c: after merging and caching,
+// p[0]/p[1] collapse to one check, x[i] is promoted out of the loop, and
+// y[j] is cached.
+func TestFigure8GiantSanPlan(t *testing.T) {
+	prog, st, loop := figure8()
+	f := analysis.Analyze(prog)
+	plan := Build(prog, GiantSanProfile, f)
+
+	// p[0] carries the merged group check; p[1] is eliminated.
+	if plan.Mode[st["loadX"]] != ModeGroup {
+		t.Errorf("p[0] mode = %v, want group", plan.Mode[st["loadX"]])
+	}
+	if plan.Mode[st["loadY"]] != ModeSkip {
+		t.Errorf("p[1] mode = %v, want eliminated", plan.Mode[st["loadY"]])
+	}
+	// x[i] is promoted: one preheader check CI(x, x+4N).
+	if plan.Mode[st["loadXI"]] != ModeSkip {
+		t.Errorf("x[i] mode = %v, want eliminated (promoted)", plan.Mode[st["loadXI"]])
+	}
+	pres := plan.Pre[loop]
+	if len(pres) != 1 || pres[0].Base != "x" || pres[0].Scale != 4 || pres[0].Size != 4 {
+		t.Errorf("preheader checks = %+v", pres)
+	}
+	// y[j] is cached.
+	if plan.Mode[st["storeYJ"]] != ModeCached {
+		t.Errorf("y[j] mode = %v, want cached", plan.Mode[st["storeYJ"]])
+	}
+	if vars := plan.CacheVars[loop]; len(vars) != 1 || vars[0] != "y" {
+		t.Errorf("cache vars = %v, want [y]", vars)
+	}
+	// memset is region-checked.
+	if plan.Mode[st["mset"]] != ModeRegion {
+		t.Errorf("memset mode = %v, want region", plan.Mode[st["mset"]])
+	}
+}
+
+func TestASanPlanChecksEverything(t *testing.T) {
+	prog, st, loop := figure8()
+	f := analysis.Analyze(prog)
+	plan := Build(prog, ASanProfile, f)
+	for _, name := range []string{"loadX", "loadY", "loadXI", "storeYJ"} {
+		if plan.Mode[st[name]] != ModeDirect {
+			t.Errorf("%s mode = %v, want direct", name, plan.Mode[st[name]])
+		}
+	}
+	if len(plan.Pre[loop]) != 0 {
+		t.Error("ASan must not hoist checks")
+	}
+	if len(plan.CacheVars[loop]) != 0 {
+		t.Error("ASan must not cache")
+	}
+}
+
+func TestASanMinusPlanEliminatesButNoCache(t *testing.T) {
+	prog, st, loop := figure8()
+	f := analysis.Analyze(prog)
+	plan := Build(prog, ASanMinusProfile, f)
+	if plan.Mode[st["loadY"]] != ModeSkip {
+		t.Error("ASan-- should merge p[0]/p[1]")
+	}
+	if plan.Mode[st["loadXI"]] != ModeSkip {
+		t.Error("ASan-- should promote x[i]")
+	}
+	if plan.Mode[st["storeYJ"]] != ModeDirect {
+		t.Errorf("ASan-- y[j] mode = %v, want direct (no caching)", plan.Mode[st["storeYJ"]])
+	}
+	if len(plan.CacheVars[loop]) != 0 {
+		t.Error("ASan-- must not cache")
+	}
+}
+
+func TestCacheOnlyPlan(t *testing.T) {
+	prog, st, _ := figure8()
+	f := analysis.Analyze(prog)
+	plan := Build(prog, CacheOnly, f)
+	// No elimination: p[0] and p[1] both direct.
+	if plan.Mode[st["loadX"]] != ModeDirect || plan.Mode[st["loadY"]] != ModeDirect {
+		t.Error("CacheOnly must not merge")
+	}
+	// Both loop accesses cached (x[i] is not promoted without Eliminate).
+	if plan.Mode[st["loadXI"]] != ModeCached || plan.Mode[st["storeYJ"]] != ModeCached {
+		t.Error("CacheOnly should cache loop accesses")
+	}
+}
+
+func TestNativePlan(t *testing.T) {
+	prog, st, _ := figure8()
+	f := analysis.Analyze(prog)
+	plan := Build(prog, Native, f)
+	for name, s := range st {
+		if plan.Mode[s] != ModeNone {
+			t.Errorf("%s mode = %v, want none", name, plan.Mode[s])
+		}
+	}
+}
+
+func TestUnsafeLoopNotPromoted(t *testing.T) {
+	acc := &ir.Load{Dst: "v", Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{
+		acc, &ir.Opaque{},
+	}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := analysis.Analyze(prog)
+	plan := Build(prog, GiantSanProfile, f)
+	if plan.Mode[acc] == ModeSkip {
+		t.Error("access in a loop with an opaque call must not be promoted")
+	}
+	if plan.Mode[acc] != ModeCached {
+		t.Errorf("mode = %v, want cached fallback", plan.Mode[acc])
+	}
+}
+
+func TestUnboundedLoopUsesCache(t *testing.T) {
+	acc := &ir.Load{Dst: "v", Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: false, Body: []ir.Stmt{acc}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := analysis.Analyze(prog)
+
+	if m := Build(prog, GiantSanProfile, f).Mode[acc]; m != ModeCached {
+		t.Errorf("GiantSan unbounded-loop access = %v, want cached", m)
+	}
+	if m := Build(prog, ASanMinusProfile, f).Mode[acc]; m != ModeDirect {
+		t.Errorf("ASan-- unbounded-loop access = %v, want direct", m)
+	}
+}
+
+// TestConditionalAccessNotPromoted: hoisting a guarded access's check to
+// the preheader could report a range the program never touches, so the
+// planner must leave it cached.
+func TestConditionalAccessNotPromoted(t *testing.T) {
+	guarded := &ir.Load{Dst: "v", Base: "x", Idx: ir.Var("i"), Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{
+		&ir.If{Cond: ir.Rand{N: ir.Const(2)}, Then: []ir.Stmt{guarded}},
+	}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := analysis.Analyze(prog)
+	plan := Build(prog, GiantSanProfile, f)
+	if plan.Mode[guarded] == ModeSkip {
+		t.Fatal("guarded access was promoted")
+	}
+	if plan.Mode[guarded] != ModeCached {
+		t.Errorf("mode = %v, want cached", plan.Mode[guarded])
+	}
+	if len(plan.Pre[loop]) != 0 {
+		t.Error("preheader check emitted for a conditional access")
+	}
+}
+
+// TestNegativeStartOffsetNotPromoted: x[i-1] starts below the base at
+// i=0; the anchored preheader check cannot cover it, so it stays cached.
+func TestNegativeStartOffsetNotPromoted(t *testing.T) {
+	acc := &ir.Load{Dst: "v", Base: "x",
+		Idx: ir.Bin{Op: ir.Sub, L: ir.Var("i"), R: ir.Const(1)}, Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{acc}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := analysis.Analyze(prog)
+	plan := Build(prog, GiantSanProfile, f)
+	if plan.Mode[acc] == ModeSkip {
+		t.Error("negative-start affine access was promoted")
+	}
+}
+
+// TestAffineAddendPromoted: x[i+2] promotes with the extent shifted.
+func TestAffineAddendPromoted(t *testing.T) {
+	acc := &ir.Load{Dst: "v", Base: "x",
+		Idx: ir.Bin{Op: ir.Add, L: ir.Var("i"), R: ir.Const(2)}, Scale: 8, Size: 8}
+	loop := &ir.Loop{Var: "i", N: ir.Const(10), Bounded: true, Body: []ir.Stmt{acc}}
+	prog := &ir.Prog{Body: []ir.Stmt{&ir.Malloc{Dst: "x", Size: ir.Const(128)}, loop}}
+	f := analysis.Analyze(prog)
+	plan := Build(prog, GiantSanProfile, f)
+	if plan.Mode[acc] != ModeSkip {
+		t.Fatalf("x[i+2] mode = %v, want promoted", plan.Mode[acc])
+	}
+	pre := plan.Pre[loop][0]
+	if pre.Off != 16 || pre.Scale != 8 {
+		t.Errorf("preheader = %+v", pre)
+	}
+}
+
+func TestStaticCounts(t *testing.T) {
+	prog, _, _ := figure8()
+	f := analysis.Analyze(prog)
+	plan := Build(prog, GiantSanProfile, f)
+	counts := plan.StaticCounts()
+	if counts[ModeSkip] != 2 || counts[ModeGroup] != 1 || counts[ModeCached] != 1 || counts[ModeRegion] != 1 {
+		t.Errorf("StaticCounts = %v", counts)
+	}
+}

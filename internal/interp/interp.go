@@ -1,0 +1,257 @@
+// Package interp executes ir programs against a sanitizer runtime.
+//
+// The program tree is compiled once into a graph of closures (a simple
+// template JIT), so per-statement dispatch cost is a function call rather
+// than a tree walk. That matters for the evaluation: the Table 2 numbers
+// compare native execution (checks absent) with sanitized execution
+// (checks present) of the *same* closure graph, so the measured delta is
+// the sanitizer work — metadata loads, check branches, slow paths — not
+// interpreter bookkeeping.
+//
+// Execution follows the paper's SPEC configuration: halt_on_error=false,
+// so failing checks are recorded and the offending memory operation is
+// skipped (the simulated equivalent of ASan's recover mode).
+package interp
+
+import (
+	"fmt"
+
+	"giantsan/internal/analysis"
+	"giantsan/internal/instrument"
+	"giantsan/internal/ir"
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// ExecStats counts the dynamic behaviour of one run, the raw material for
+// Figure 10 and the check-count columns of EXPERIMENTS.md.
+type ExecStats struct {
+	// Accesses is the number of dynamic memory operations (loads, stores,
+	// intrinsics).
+	Accesses uint64
+	// Eliminated counts accesses executed with no per-access check
+	// (covered by merged or promoted checks).
+	Eliminated uint64
+	// Cached counts accesses protected through a quasi-bound cache.
+	Cached uint64
+	// Direct counts accesses with standalone checks.
+	Direct uint64
+	// FastOnly and FullCheck split Direct GiantSan checks by whether the
+	// slow path ran (Figure 10's FastOnly/FullCheck split).
+	FastOnly  uint64
+	FullCheck uint64
+	// PreChecks counts hoisted (preheader) and group region checks.
+	PreChecks uint64
+	// Skipped counts memory operations suppressed after a failed check.
+	Skipped uint64
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Stats ExecStats
+	// San is a snapshot of the sanitizer's counters for the run.
+	San san.Stats
+	// Checksum is a value-dependent digest: workloads fold loaded data
+	// into it so the compiler/runtime cannot elide the memory traffic and
+	// tests can assert value correctness.
+	Checksum uint64
+	// Errors holds the recorded reports (halt_on_error=false).
+	Errors report.Log
+}
+
+// state is the mutable execution state threaded through closures.
+type state struct {
+	vars     []int64
+	rng      uint64
+	run      rt.Runtime
+	space    *vmem.Space
+	sanStats *san.Stats
+	caches   []san.Cache
+	stats    ExecStats
+	checksum uint64
+	errs     report.Log
+}
+
+func (s *state) rand(n int64) int64 {
+	// xorshift64*: deterministic, fast, good enough dispersion.
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if n <= 0 {
+		return 0
+	}
+	v := int64((s.rng * 2685821657736338717) >> 1)
+	return v % n
+}
+
+// Exec is a compiled program bound to a runtime.
+type Exec struct {
+	prog    *ir.Prog
+	run     rt.Runtime
+	body    []stmtFn
+	nVars   int
+	nCaches int
+	seed    uint64
+}
+
+type stmtFn func(*state)
+type exprFn func(*state) int64
+
+// Compile compiles p with the given instrumentation plan against run.
+// The same Exec can be Run multiple times; each run resets state.
+func Compile(p *ir.Prog, plan *instrument.Plan, facts *analysis.Facts, run rt.Runtime) (*Exec, error) {
+	c := &compiler{
+		plan:  plan,
+		facts: facts,
+		run:   run,
+		slots: map[string]int{},
+	}
+	body, err := c.block(p.Body)
+	if err != nil {
+		return nil, fmt.Errorf("interp: compiling %s: %w", p.Name, err)
+	}
+	return &Exec{
+		prog:    p,
+		run:     run,
+		body:    body,
+		nVars:   len(c.slots),
+		nCaches: c.nCaches,
+		seed:    0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// Run executes the program once and returns the result. The sanitizer's
+// counters are snapshotted across the run (and left accumulated in the
+// sanitizer, as in a real process).
+func (e *Exec) Run() *Result {
+	st := &state{
+		vars:     make([]int64, e.nVars),
+		rng:      e.seed,
+		run:      e.run,
+		space:    e.run.Space(),
+		sanStats: e.run.San().Stats(),
+		caches:   make([]san.Cache, e.nCaches),
+	}
+	before := *st.sanStats
+	for _, fn := range e.body {
+		fn(st)
+	}
+	after := *st.sanStats
+	delta := san.Stats{
+		Checks:       after.Checks - before.Checks,
+		ShadowLoads:  after.ShadowLoads - before.ShadowLoads,
+		FastChecks:   after.FastChecks - before.FastChecks,
+		SlowChecks:   after.SlowChecks - before.SlowChecks,
+		CacheHits:    after.CacheHits - before.CacheHits,
+		CacheRefills: after.CacheRefills - before.CacheRefills,
+		RangeChecks:  after.RangeChecks - before.RangeChecks,
+		Errors:       after.Errors - before.Errors,
+	}
+	return &Result{Stats: st.stats, San: delta, Checksum: st.checksum, Errors: st.errs}
+}
+
+type compiler struct {
+	plan    *instrument.Plan
+	facts   *analysis.Facts
+	run     rt.Runtime
+	slots   map[string]int
+	loops   []*loopCtx
+	nCaches int
+}
+
+type loopCtx struct {
+	loop *ir.Loop
+	// cacheIdx maps base variable name to a cache slot index.
+	cacheIdx map[string]int
+}
+
+func (c *compiler) slot(name string) int {
+	if i, ok := c.slots[name]; ok {
+		return i
+	}
+	i := len(c.slots)
+	c.slots[name] = i
+	return i
+}
+
+func (c *compiler) expr(e ir.Expr) (exprFn, error) {
+	switch n := e.(type) {
+	case nil:
+		return func(*state) int64 { return 0 }, nil
+	case ir.Const:
+		v := int64(n)
+		return func(*state) int64 { return v }, nil
+	case ir.Var:
+		i := c.slot(string(n))
+		return func(s *state) int64 { return s.vars[i] }, nil
+	case ir.Rand:
+		nf, err := c.expr(n.N)
+		if err != nil {
+			return nil, err
+		}
+		return func(s *state) int64 { return s.rand(nf(s)) }, nil
+	case ir.Bin:
+		lf, err := c.expr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := c.expr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case ir.Add:
+			return func(s *state) int64 { return lf(s) + rf(s) }, nil
+		case ir.Sub:
+			return func(s *state) int64 { return lf(s) - rf(s) }, nil
+		case ir.Mul:
+			return func(s *state) int64 { return lf(s) * rf(s) }, nil
+		case ir.Div:
+			return func(s *state) int64 {
+				r := rf(s)
+				if r == 0 {
+					return 0
+				}
+				return lf(s) / r
+			}, nil
+		case ir.Mod:
+			return func(s *state) int64 {
+				r := rf(s)
+				if r == 0 {
+					return 0
+				}
+				return lf(s) % r
+			}, nil
+		case ir.And:
+			return func(s *state) int64 { return lf(s) & rf(s) }, nil
+		case ir.Xor:
+			return func(s *state) int64 { return lf(s) ^ rf(s) }, nil
+		case ir.Shr:
+			return func(s *state) int64 { return lf(s) >> (uint64(rf(s)) & 63) }, nil
+		default:
+			return nil, fmt.Errorf("unknown binop %d", n.Op)
+		}
+	default:
+		return nil, fmt.Errorf("unknown expr %T", e)
+	}
+}
+
+func (c *compiler) block(stmts []ir.Stmt) ([]stmtFn, error) {
+	out := make([]stmtFn, 0, len(stmts))
+	for _, s := range stmts {
+		fn, err := c.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+func runBlock(fns []stmtFn, s *state) {
+	for _, fn := range fns {
+		fn(s)
+	}
+}

@@ -1,0 +1,335 @@
+package interp
+
+import (
+	"testing"
+
+	"giantsan/internal/instrument"
+	"giantsan/internal/ir"
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+)
+
+func run(t *testing.T, p *ir.Prog, prof instrument.Profile, kind rt.Kind) (*Result, rt.Runtime) {
+	t.Helper()
+	env := rt.New(rt.Config{Kind: kind, HeapBytes: 8 << 20})
+	ex, err := Prepare(p, prof, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex.Run(), env
+}
+
+// sumProg writes i*3 into a[i] for i in 0..n, then sums it back.
+func sumProg(n int64, bounded bool) *ir.Prog {
+	return &ir.Prog{Name: "sum", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(n * 8)},
+		&ir.Loop{Var: "i", N: ir.Const(n), Bounded: bounded, Body: []ir.Stmt{
+			&ir.Store{Base: "a", Idx: ir.Var("i"), Scale: 8, Size: 8,
+				Val: ir.Bin{Op: ir.Mul, L: ir.Var("i"), R: ir.Const(3)}},
+		}},
+		&ir.Decl{Name: "sum", Init: ir.Const(0)},
+		&ir.Loop{Var: "i", N: ir.Const(n), Bounded: bounded, Body: []ir.Stmt{
+			&ir.Load{Dst: "v", Base: "a", Idx: ir.Var("i"), Scale: 8, Size: 8},
+			&ir.Assign{Name: "sum", Val: ir.Bin{Op: ir.Add, L: ir.Var("sum"), R: ir.Var("v")}},
+		}},
+		// Store the sum so tests can read it back through memory.
+		&ir.Malloc{Dst: "out", Size: ir.Const(8)},
+		&ir.Store{Base: "out", Size: 8, Val: ir.Var("sum")},
+		&ir.Load{Dst: "check", Base: "out", Size: 8},
+	}}
+}
+
+func TestExecutionComputesCorrectValues(t *testing.T) {
+	// sum(3i) for i<100 = 3*99*100/2 = 14850. The value flows through
+	// simulated memory, so a correct checksum proves loads/stores work.
+	for _, kind := range []rt.Kind{rt.GiantSan, rt.ASan} {
+		for _, prof := range []instrument.Profile{instrument.Native, instrument.GiantSanProfile, instrument.ASanProfile} {
+			res, env := run(t, sumProg(100, true), prof, kind)
+			if res.Errors.Total() != 0 {
+				t.Fatalf("%v/%s: unexpected errors: %v", kind, prof.Name, res.Errors.Errors[0])
+			}
+			// Find the out allocation value via the checksum of the final
+			// load: instead, re-derive: the last Load put 14850 into the
+			// checksum mix; simplest check: run native and compare.
+			_ = env
+			if res.Checksum == 0 {
+				t.Fatalf("%v/%s: checksum empty — loads did not execute", kind, prof.Name)
+			}
+		}
+	}
+	// All configurations must produce the identical checksum: checks must
+	// never change program semantics.
+	base, _ := run(t, sumProg(100, true), instrument.Native, rt.GiantSan)
+	for _, prof := range []instrument.Profile{instrument.GiantSanProfile, instrument.CacheOnly, instrument.ElimOnly, instrument.ASanProfile, instrument.ASanMinusProfile} {
+		res, _ := run(t, sumProg(100, true), prof, rt.GiantSan)
+		if res.Checksum != base.Checksum {
+			t.Errorf("%s: checksum %#x != native %#x", prof.Name, res.Checksum, base.Checksum)
+		}
+	}
+}
+
+func TestEliminationReducesChecks(t *testing.T) {
+	p := sumProg(1000, true)
+	full, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	asan, _ := run(t, p, instrument.ASanProfile, rt.ASan)
+
+	// Under GiantSan both bounded loops promote: ~2000 accesses, ~2
+	// preheader checks, everything else eliminated.
+	if full.Stats.Eliminated < 1990 {
+		t.Errorf("eliminated = %d, want ≈2000", full.Stats.Eliminated)
+	}
+	if full.San.ShadowLoads > 20 {
+		t.Errorf("GiantSan shadow loads = %d, want O(1) per loop", full.San.ShadowLoads)
+	}
+	// ASan checks every access with one load each.
+	if asan.San.ShadowLoads < 2000 {
+		t.Errorf("ASan shadow loads = %d, want ≥ 2000", asan.San.ShadowLoads)
+	}
+}
+
+func TestCachingReducesLoads(t *testing.T) {
+	// Unbounded loops cannot be promoted; GiantSan caches instead.
+	p := sumProg(1000, false)
+	gs, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	asan, _ := run(t, p, instrument.ASanProfile, rt.ASan)
+	if gs.Stats.Cached < 1990 {
+		t.Errorf("cached accesses = %d, want ≈2000", gs.Stats.Cached)
+	}
+	// Quasi-bound: O(log n) refills per loop, each a handful of loads.
+	if gs.San.ShadowLoads > 200 {
+		t.Errorf("GiantSan cached loads = %d, want logarithmic", gs.San.ShadowLoads)
+	}
+	if asan.San.ShadowLoads < 2000 {
+		t.Errorf("ASan loads = %d", asan.San.ShadowLoads)
+	}
+	if gs.San.CacheHits == 0 || gs.San.CacheRefills == 0 {
+		t.Error("cache counters not moving")
+	}
+}
+
+func TestOverflowDetectedAndSkipped(t *testing.T) {
+	// Write one past the end of a 64-byte buffer.
+	p := &ir.Prog{Name: "overflow", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(64)},
+		&ir.Store{Base: "a", Off: 64, Size: 8, Val: ir.Const(1)},
+	}}
+	for _, tc := range []struct {
+		prof instrument.Profile
+		kind rt.Kind
+	}{
+		{instrument.GiantSanProfile, rt.GiantSan},
+		{instrument.ASanProfile, rt.ASan},
+		{instrument.ASanMinusProfile, rt.ASanMinus},
+	} {
+		res, _ := run(t, p, tc.prof, tc.kind)
+		if res.Errors.Total() != 1 {
+			t.Errorf("%s: %d errors, want 1", tc.prof.Name, res.Errors.Total())
+			continue
+		}
+		if k := res.Errors.Errors[0].Kind; k != report.HeapBufferOverflow {
+			t.Errorf("%s: kind %v", tc.prof.Name, k)
+		}
+		if res.Stats.Skipped != 1 {
+			t.Errorf("%s: faulting op not skipped", tc.prof.Name)
+		}
+	}
+	// Native: no detection, op silently lands in the redzone (simulated
+	// memory, so nothing explodes).
+	res, _ := run(t, p, instrument.Native, rt.GiantSan)
+	if res.Errors.Total() != 0 {
+		t.Error("native run should not report")
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	p := &ir.Prog{Name: "uaf", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(64)},
+		&ir.Free{Ptr: "a"},
+		&ir.Load{Dst: "v", Base: "a", Size: 8},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 || res.Errors.Errors[0].Kind != report.UseAfterFree {
+		t.Errorf("errors: %v", res.Errors.Errors)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	p := &ir.Prog{Name: "df", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(64)},
+		&ir.Free{Ptr: "a"},
+		&ir.Free{Ptr: "a"},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 || res.Errors.Errors[0].Kind != report.DoubleFree {
+		t.Errorf("errors: %v", res.Errors.Errors)
+	}
+}
+
+func TestPromotedLoopCatchesOverflowUpfront(t *testing.T) {
+	// The loop runs one iteration too far; the promoted preheader check
+	// CI(a, a+8*(n+1)) must fire once, before the loop body runs.
+	p := &ir.Prog{Name: "loop-overflow", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(80)},
+		&ir.Loop{Var: "i", N: ir.Const(11), Bounded: true, Body: []ir.Stmt{
+			&ir.Store{Base: "a", Idx: ir.Var("i"), Scale: 8, Size: 8, Val: ir.Var("i")},
+		}},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() == 0 {
+		t.Fatal("promoted check missed the overflow")
+	}
+	if res.Errors.Errors[0].Kind != report.HeapBufferOverflow {
+		t.Errorf("kind = %v", res.Errors.Errors[0].Kind)
+	}
+}
+
+func TestCachedLoopDetectsOverflow(t *testing.T) {
+	// Unbounded loop overruns: cached checks must still catch the first
+	// out-of-bounds access.
+	p := &ir.Prog{Name: "cache-overflow", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(80)},
+		&ir.Loop{Var: "i", N: ir.Const(11), Bounded: false, Body: []ir.Stmt{
+			&ir.Store{Base: "a", Idx: ir.Var("i"), Scale: 8, Size: 8, Val: ir.Var("i")},
+		}},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 {
+		t.Fatalf("errors = %d, want exactly 1 (the overflowing store)", res.Errors.Total())
+	}
+	if res.Stats.Skipped != 1 {
+		t.Error("overflowing store not suppressed")
+	}
+}
+
+func TestMemsetChecked(t *testing.T) {
+	ok := &ir.Prog{Name: "memset-ok", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(1024)},
+		&ir.Memset{Base: "a", Val: ir.Const(0xAA), Len: ir.Const(1024)},
+		&ir.Load{Dst: "v", Base: "a", Off: 512, Size: 1},
+	}}
+	res, _ := run(t, ok, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 0 {
+		t.Fatalf("valid memset reported: %v", res.Errors.Errors)
+	}
+	// The memset data actually landed.
+	if res.Checksum == 0 {
+		t.Error("no data loaded")
+	}
+
+	bad := &ir.Prog{Name: "memset-bad", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(1024)},
+		&ir.Memset{Base: "a", Val: ir.Const(0), Len: ir.Const(1025)},
+	}}
+	res, _ = run(t, bad, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 {
+		t.Error("overflowing memset missed")
+	}
+	// GiantSan checks the whole region in O(1).
+	if res.San.ShadowLoads > 10 {
+		t.Errorf("memset checks used %d loads", res.San.ShadowLoads)
+	}
+}
+
+func TestMemcpyChecked(t *testing.T) {
+	p := &ir.Prog{Name: "memcpy", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(256)},
+		&ir.Malloc{Dst: "b", Size: ir.Const(128)},
+		&ir.Memset{Base: "a", Val: ir.Const(7), Len: ir.Const(256)},
+		// dst too small: write overflow.
+		&ir.Memcpy{Dst: "b", Src: "a", Len: ir.Const(256)},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 {
+		t.Fatalf("memcpy overflow: %d errors", res.Errors.Total())
+	}
+	if res.Errors.Errors[0].Access != report.Write {
+		t.Error("should fault on the write side")
+	}
+}
+
+func TestReverseLoop(t *testing.T) {
+	p := &ir.Prog{Name: "rev", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(800)},
+		&ir.Loop{Var: "i", N: ir.Const(100), Bounded: false, Reverse: true, Body: []ir.Stmt{
+			&ir.Store{Base: "a", Idx: ir.Var("i"), Scale: 8, Size: 8, Val: ir.Var("i")},
+		}},
+		&ir.Load{Dst: "v", Base: "a", Off: 0, Size: 8},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 0 {
+		t.Fatalf("reverse loop reported: %v", res.Errors.Errors[0])
+	}
+	if res.Stats.Accesses != 101 {
+		t.Errorf("accesses = %d, want 101", res.Stats.Accesses)
+	}
+}
+
+func TestFrameLifecycle(t *testing.T) {
+	p := &ir.Prog{Name: "frames", Body: []ir.Stmt{
+		&ir.Frame{Body: []ir.Stmt{
+			&ir.Alloca{Dst: "buf", Size: ir.Const(64)},
+			&ir.Store{Base: "buf", Off: 0, Size: 8, Val: ir.Const(42)},
+			&ir.Store{Base: "buf", Off: 64, Size: 8, Val: ir.Const(1)}, // overflow
+		}},
+	}}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 {
+		t.Fatalf("stack overflow: %d errors", res.Errors.Total())
+	}
+	if res.Errors.Errors[0].Kind != report.StackBufferOverflow {
+		t.Errorf("kind = %v", res.Errors.Errors[0].Kind)
+	}
+}
+
+func TestLFPRoundingFalseNegative(t *testing.T) {
+	// 60-byte object rounds to a 64-byte LFP slot: the off-by-one write
+	// is invisible to LFP but caught by GiantSan.
+	p := &ir.Prog{Name: "fn", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(60)},
+		&ir.Store{Base: "a", Off: 60, Size: 1, Val: ir.Const(1)},
+	}}
+	lfpEnv := newLFP(t)
+	ex, err := Prepare(p, instrument.LFPProfile, lfpEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ex.Run(); res.Errors.Total() != 0 {
+		t.Errorf("LFP should miss the in-slack overflow: %v", res.Errors.Errors)
+	}
+	res, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if res.Errors.Total() != 1 {
+		t.Error("GiantSan must catch the off-by-one")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	p := &ir.Prog{Name: "rand", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(800)},
+		&ir.Loop{Var: "i", N: ir.Const(50), Bounded: false, Body: []ir.Stmt{
+			&ir.Load{Dst: "v", Base: "a", Idx: ir.Rand{N: ir.Const(100)}, Scale: 8, Size: 8},
+		}},
+	}}
+	r1, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	r2, _ := run(t, p, instrument.GiantSanProfile, rt.GiantSan)
+	if r1.Checksum != r2.Checksum {
+		t.Error("random workloads must be deterministic across runs")
+	}
+	if r1.Errors.Total() != 0 {
+		t.Errorf("in-bounds random accesses reported: %v", r1.Errors.Errors[0])
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	res, _ := run(t, sumProg(100, true), instrument.GiantSanProfile, rt.GiantSan)
+	s := res.Stats
+	// 100 stores + 100 loads + 1 store + 1 load = 202 accesses.
+	if s.Accesses != 202 {
+		t.Errorf("accesses = %d, want 202", s.Accesses)
+	}
+	if s.Eliminated+s.Cached+s.Direct != s.Accesses {
+		t.Errorf("modes don't partition accesses: %+v", s)
+	}
+	if s.FastOnly+s.FullCheck != s.Direct {
+		t.Errorf("fast/full don't partition direct: %+v", s)
+	}
+}

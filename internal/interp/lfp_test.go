@@ -1,0 +1,16 @@
+package interp
+
+import (
+	"testing"
+
+	"giantsan/internal/lfp"
+	"giantsan/internal/rt"
+)
+
+// newLFP builds an LFP runtime for interp tests and asserts it satisfies
+// the rt.Runtime contract.
+func newLFP(t *testing.T) rt.Runtime {
+	t.Helper()
+	var r rt.Runtime = lfp.New(lfp.Config{HeapBytes: 16 << 20, MaxClass: 1 << 16})
+	return r
+}

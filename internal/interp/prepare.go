@@ -1,0 +1,16 @@
+package interp
+
+import (
+	"giantsan/internal/analysis"
+	"giantsan/internal/instrument"
+	"giantsan/internal/ir"
+	"giantsan/internal/rt"
+)
+
+// Prepare analyzes, plans and compiles p under prof against run — the
+// whole compilation-phase pipeline of Figure 4 in one call.
+func Prepare(p *ir.Prog, prof instrument.Profile, run rt.Runtime) (*Exec, error) {
+	facts := analysis.Analyze(p)
+	plan := instrument.Build(p, prof, facts)
+	return Compile(p, plan, facts, run)
+}

@@ -1,0 +1,236 @@
+// Package ir defines a miniature program representation standing in for
+// the LLVM IR the real GiantSan pass operates on.
+//
+// The representation is deliberately small but carries exactly the program
+// facts the paper's static analyses consume (Table 1):
+//
+//   - constant-offset accesses off a shared base (constant propagation),
+//   - memset/memcpy intrinsics (predefined semantics),
+//   - counted loops with affine subscripts (SCEV / loop bound analysis),
+//   - repeated accesses through the same pointer (must-alias analysis),
+//   - opaque calls and frees that act as analysis barriers.
+//
+// Programs are trees of statements; internal/analysis derives facts,
+// internal/instrument plans checks, and internal/interp compiles the tree
+// to closures and runs it against a simulated sanitizer runtime.
+package ir
+
+// Prog is one workload program.
+type Prog struct {
+	Name string
+	Body []Stmt
+}
+
+// Expr is an integer expression evaluated at run time. All values are
+// int64; pointers are addresses stored in variables.
+type Expr interface{ isExpr() }
+
+// Const is an integer literal.
+type Const int64
+
+// Var reads a scalar variable.
+type Var string
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Xor
+	Shr
+)
+
+// Bin applies Op to L and R.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Rand evaluates to a deterministic pseudo-random value in [0, N).
+// It models data-dependent subscripts (hash probes, indirection arrays)
+// that defeat static bound analysis.
+type Rand struct{ N Expr }
+
+func (Const) isExpr() {}
+func (Var) isExpr()   {}
+func (Bin) isExpr()   {}
+func (Rand) isExpr()  {}
+
+// Stmt is one statement. All statements are pointer types so they can key
+// instrumentation-plan maps by identity.
+type Stmt interface{ isStmt() }
+
+// Decl declares (or redeclares) a variable with an initial value.
+type Decl struct {
+	Name string
+	Init Expr
+}
+
+// Assign updates a variable.
+type Assign struct {
+	Name string
+	Val  Expr
+}
+
+// Malloc heap-allocates Size bytes and stores the base address in Dst.
+type Malloc struct {
+	Dst  string
+	Size Expr
+}
+
+// Free deallocates the address held by Ptr.
+type Free struct{ Ptr string }
+
+// Alloca stack-allocates Size bytes in the innermost Frame and stores the
+// base address in Dst.
+type Alloca struct {
+	Dst  string
+	Size Expr
+}
+
+// Frame brackets Body in a stack frame (function prologue/epilogue).
+type Frame struct{ Body []Stmt }
+
+// Load reads Size bytes at address Base + Idx·Scale + Off into Dst.
+// Size is 1, 2, 4 or 8.
+type Load struct {
+	Dst   string
+	Base  string
+	Idx   Expr // nil means 0
+	Scale int64
+	Off   int64
+	Size  int
+}
+
+// Store writes Val (truncated to Size bytes) at Base + Idx·Scale + Off.
+type Store struct {
+	Base  string
+	Idx   Expr // nil means 0
+	Scale int64
+	Off   int64
+	Size  int
+	Val   Expr
+}
+
+// Memset fills [Base+Off, Base+Off+Len) with the low byte of Val.
+type Memset struct {
+	Base string
+	Off  Expr // nil means 0
+	Val  Expr
+	Len  Expr
+}
+
+// Memcpy copies Len bytes from Src+SOff to Dst+DOff.
+type Memcpy struct {
+	Dst, Src   string
+	DOff, SOff Expr // nil means 0
+	Len        Expr
+}
+
+// Loop runs Body with Var taking values 0..N−1 (or N−1..0 when Reverse).
+// Bounded marks loops whose trip count the SCEV-style analysis can prove
+// loop-invariant; data-dependent (while-style) loops set it false.
+type Loop struct {
+	Var     string
+	N       Expr
+	Bounded bool
+	Reverse bool
+	Body    []Stmt
+}
+
+// If runs Then when Cond is non-zero, Else otherwise.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Call models a call into another *instrumented* function whose body is
+// Body. It matters to the analyses, which are intra-procedural (§4.4
+// uses LLVM's intra-procedural must-alias and SCEV): accesses inside the
+// callee cannot see an enclosing loop in the caller, so they are checked
+// directly even when the call site sits in a hot loop. This is where the
+// paper's FastOnly/FullCheck population comes from.
+type Call struct{ Body []Stmt }
+
+// Opaque models a call into uninstrumented code: an analysis barrier that
+// may clobber any memory-derived fact (but, in the simulation, does
+// nothing at run time).
+type Opaque struct{}
+
+func (*Decl) isStmt()   {}
+func (*Assign) isStmt() {}
+func (*Malloc) isStmt() {}
+func (*Free) isStmt()   {}
+func (*Alloca) isStmt() {}
+func (*Frame) isStmt()  {}
+func (*Load) isStmt()   {}
+func (*Store) isStmt()  {}
+func (*Memset) isStmt() {}
+func (*Memcpy) isStmt() {}
+func (*Loop) isStmt()   {}
+func (*If) isStmt()     {}
+func (*Call) isStmt()   {}
+func (*Opaque) isStmt() {}
+
+// AccessSize returns the access width of a Load or Store statement and
+// false for any other statement.
+func AccessSize(s Stmt) (int, bool) {
+	switch a := s.(type) {
+	case *Load:
+		return a.Size, true
+	case *Store:
+		return a.Size, true
+	}
+	return 0, false
+}
+
+// AccessParts returns the address components (base variable, index
+// expression, scale, offset, width) of a Load or Store.
+func AccessParts(s Stmt) (base string, idx Expr, scale, off int64, size int, ok bool) {
+	switch a := s.(type) {
+	case *Load:
+		return a.Base, a.Idx, a.Scale, a.Off, a.Size, true
+	case *Store:
+		return a.Base, a.Idx, a.Scale, a.Off, a.Size, true
+	}
+	return "", nil, 0, 0, 0, false
+}
+
+// Walk calls fn for every statement in the tree rooted at stmts,
+// depth-first, parents before children.
+func Walk(stmts []Stmt, fn func(Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		switch n := s.(type) {
+		case *Frame:
+			Walk(n.Body, fn)
+		case *Loop:
+			Walk(n.Body, fn)
+		case *Call:
+			Walk(n.Body, fn)
+		case *If:
+			Walk(n.Then, fn)
+			Walk(n.Else, fn)
+		}
+	}
+}
+
+// CountAccesses returns the number of static Load/Store/Memset/Memcpy
+// statements in the program.
+func (p *Prog) CountAccesses() int {
+	n := 0
+	Walk(p.Body, func(s Stmt) {
+		switch s.(type) {
+		case *Load, *Store, *Memset, *Memcpy:
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,66 @@
+package ir
+
+import "testing"
+
+func TestWalkVisitsAllNesting(t *testing.T) {
+	inner := &Load{Dst: "v", Base: "p", Size: 8}
+	callee := &Store{Base: "p", Size: 8, Val: Const(1)}
+	thenS := &Memset{Base: "p", Val: Const(0), Len: Const(8)}
+	elseS := &Memcpy{Dst: "p", Src: "q", Len: Const(8)}
+	prog := &Prog{Body: []Stmt{
+		&Frame{Body: []Stmt{
+			&Loop{Var: "i", N: Const(2), Body: []Stmt{
+				inner,
+				&Call{Body: []Stmt{callee}},
+			}},
+			&If{Cond: Const(1), Then: []Stmt{thenS}, Else: []Stmt{elseS}},
+		}},
+	}}
+	visited := map[Stmt]bool{}
+	Walk(prog.Body, func(s Stmt) { visited[s] = true })
+	for _, want := range []Stmt{inner, callee, thenS, elseS} {
+		if !visited[want] {
+			t.Errorf("Walk missed %T", want)
+		}
+	}
+	if len(visited) != 8 {
+		t.Errorf("visited %d statements, want 8", len(visited))
+	}
+}
+
+func TestCountAccesses(t *testing.T) {
+	prog := &Prog{Body: []Stmt{
+		&Malloc{Dst: "p", Size: Const(64)},
+		&Load{Dst: "v", Base: "p", Size: 8},
+		&Store{Base: "p", Size: 8, Val: Const(1)},
+		&Memset{Base: "p", Val: Const(0), Len: Const(8)},
+		&Memcpy{Dst: "p", Src: "p", Len: Const(8)},
+		&Loop{Var: "i", N: Const(2), Body: []Stmt{
+			&Load{Dst: "w", Base: "p", Size: 4},
+		}},
+	}}
+	if got := prog.CountAccesses(); got != 5 {
+		t.Errorf("CountAccesses = %d, want 5", got)
+	}
+}
+
+func TestAccessHelpers(t *testing.T) {
+	ld := &Load{Dst: "v", Base: "p", Idx: Var("i"), Scale: 8, Off: 4, Size: 2}
+	if sz, ok := AccessSize(ld); !ok || sz != 2 {
+		t.Errorf("AccessSize(load) = %d,%v", sz, ok)
+	}
+	base, idx, scale, off, size, ok := AccessParts(ld)
+	if !ok || base != "p" || scale != 8 || off != 4 || size != 2 {
+		t.Errorf("AccessParts = %v %v %v %v %v %v", base, idx, scale, off, size, ok)
+	}
+	st := &Store{Base: "q", Size: 8, Val: Const(0)}
+	if sz, ok := AccessSize(st); !ok || sz != 8 {
+		t.Errorf("AccessSize(store) = %d,%v", sz, ok)
+	}
+	if _, ok := AccessSize(&Opaque{}); ok {
+		t.Error("AccessSize(opaque) should fail")
+	}
+	if _, _, _, _, _, ok := AccessParts(&Malloc{}); ok {
+		t.Error("AccessParts(malloc) should fail")
+	}
+}

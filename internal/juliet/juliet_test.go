@@ -1,0 +1,127 @@
+package juliet
+
+import (
+	"testing"
+
+	"giantsan/internal/tool"
+)
+
+func mkTools() []*tool.Tool {
+	return []*tool.Tool{
+		tool.New(tool.Config{Kind: tool.GiantSan}),
+		tool.New(tool.Config{Kind: tool.ASan}),
+		tool.New(tool.Config{Kind: tool.ASanMinus}),
+		tool.New(tool.Config{Kind: tool.LFP}),
+	}
+}
+
+func results(t *testing.T) map[int]Result {
+	t.Helper()
+	out := map[int]Result{}
+	for _, r := range Run(mkTools) {
+		out[r.CWE] = r
+	}
+	return out
+}
+
+// TestTable3Shape asserts the paper's Table 3 structure:
+//   - GiantSan, ASan and ASan-- have identical detection on every CWE;
+//   - the shadow tools detect everything except the latent residue;
+//   - LFP collapses on CWE-121 and CWE-122, is partial on CWE-126, and is
+//     complete on 124/127/416/476/761;
+//   - nobody raises a false positive.
+func TestTable3Shape(t *testing.T) {
+	res := results(t)
+	shadow := []string{"giantsan", "asan", "asan--"}
+
+	for _, id := range CWEs() {
+		r := res[id]
+		if r.Total == 0 {
+			t.Fatalf("CWE-%d generated no buggy cases", id)
+		}
+		for _, name := range append(shadow, "lfp") {
+			if fp := r.FalsePos[name]; fp != 0 {
+				t.Errorf("CWE-%d: %s raised %d false positives", id, name, fp)
+			}
+		}
+		// The three shadow-based tools agree exactly (Table 3).
+		for _, name := range shadow[1:] {
+			if r.Detected[name] != r.Detected[shadow[0]] {
+				t.Errorf("CWE-%d: %s=%d differs from %s=%d",
+					id, name, r.Detected[name], shadow[0], r.Detected[shadow[0]])
+			}
+		}
+	}
+
+	// Shadow tools: full detection except the latent residue on CWE-122.
+	for _, id := range CWEs() {
+		r := res[id]
+		want := r.Total
+		if id == 122 {
+			want -= 12 // the latent cases
+		}
+		if got := r.Detected["giantsan"]; got != want {
+			t.Errorf("CWE-%d: giantsan detected %d/%d, want %d", id, got, r.Total, want)
+		}
+	}
+
+	// LFP shape.
+	frac := func(id int) float64 {
+		r := res[id]
+		return float64(r.Detected["lfp"]) / float64(r.Total)
+	}
+	if f := frac(121); f > 0.15 {
+		t.Errorf("LFP CWE-121 detection %.2f, want near-collapse (paper: 49/1439)", f)
+	}
+	if f := frac(122); f > 0.15 {
+		t.Errorf("LFP CWE-122 detection %.2f, want near-collapse (paper: 4/1504)", f)
+	}
+	if f := frac(126); f < 0.3 || f > 0.95 {
+		t.Errorf("LFP CWE-126 detection %.2f, want partial (paper: 352/449)", f)
+	}
+	for _, id := range []int{124, 127, 416, 476, 761} {
+		r := res[id]
+		if r.Detected["lfp"] != r.Total {
+			t.Errorf("CWE-%d: LFP detected %d/%d, want full (Table 3)", id, r.Detected["lfp"], r.Total)
+		}
+	}
+}
+
+func TestSuitePopulation(t *testing.T) {
+	buggy, benign, latent := 0, 0, 0
+	perCWE := map[int]int{}
+	for _, c := range Suite() {
+		if c.Buggy {
+			buggy++
+			perCWE[c.CWE]++
+		} else {
+			benign++
+		}
+		if c.Latent {
+			latent++
+		}
+	}
+	if buggy < 2000 {
+		t.Errorf("only %d buggy cases; sweep too small", buggy)
+	}
+	if benign < 800 {
+		t.Errorf("only %d benign cases", benign)
+	}
+	if latent != 12 {
+		t.Errorf("latent cases = %d, want 12 (the paper's residue)", latent)
+	}
+	for _, id := range CWEs() {
+		if perCWE[id] == 0 {
+			t.Errorf("CWE-%d has no buggy cases", id)
+		}
+	}
+}
+
+func TestCWENames(t *testing.T) {
+	if CWEName(121) != "Stack Buffer Overflow" || CWEName(761) != "Free Pointer Not at Start of Buffer" {
+		t.Error("CWE names wrong")
+	}
+	if CWEName(999) != "CWE-999" {
+		t.Error("unknown CWE fallback")
+	}
+}

@@ -1,0 +1,97 @@
+package lfp
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+)
+
+func newBBC(t *testing.T) *Runtime {
+	t.Helper()
+	return New(Config{HeapBytes: 16 << 20, MaxClass: 1 << 16, WithOracle: true, BBC: true})
+}
+
+func TestBBCClasses(t *testing.T) {
+	cs := BBCClasses(256)
+	want := []uint64{16, 32, 64, 128, 256}
+	if len(cs) != len(want) {
+		t.Fatalf("BBCClasses = %v", cs)
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("BBCClasses = %v, want %v", cs, want)
+		}
+	}
+}
+
+func TestBBCName(t *testing.T) {
+	if newBBC(t).Name() != "bbc" {
+		t.Error("BBC runtime misnamed")
+	}
+	if New(Config{HeapBytes: 8 << 20, MaxClass: 1 << 12}).Name() != "lfp" {
+		t.Error("LFP runtime misnamed")
+	}
+}
+
+// TestPaperSection21Example reproduces §2.1 verbatim: "it cannot detect
+// the out-of-bound access p[700] for a buffer char p[600] because the
+// buffer is rounded up to char p[1024]".
+func TestPaperSection21Example(t *testing.T) {
+	bbc := newBBC(t)
+	p, err := bbc.Malloc(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bbc.RoundedSize(600); got != 1024 {
+		t.Fatalf("BBC rounds 600 to %d, want 1024", got)
+	}
+	if err := bbc.CheckAnchored(p, p+700, 1, report.Read); err != nil {
+		t.Errorf("BBC caught p[700] — the paper's false negative must reproduce: %v", err)
+	}
+	if err := bbc.CheckAnchored(p, p+1024, 1, report.Read); err == nil {
+		t.Error("BBC missed p[1024], which crosses the rounded bound")
+	}
+
+	// LFP's finer classes catch p[700]: 600 rounds to 640.
+	lfp := newRT(t)
+	q, _ := lfp.Malloc(600)
+	if got := lfp.RoundedSize(600); got != 640 {
+		t.Fatalf("LFP rounds 600 to %d, want 640", got)
+	}
+	if err := lfp.CheckAnchored(q, q+700, 1, report.Read); err == nil {
+		t.Error("LFP missed p[700], which crosses its 640 bound")
+	}
+}
+
+// TestBBCStrictlyWeakerThanLFP: every overflow LFP misses, BBC misses too
+// (BBC's slack is a superset), while the converse fails for sizes between
+// the tables.
+func TestBBCStrictlyWeakerThanLFP(t *testing.T) {
+	bbc := newBBC(t)
+	lfp := newRT(t)
+	weakerSomewhere := false
+	for size := uint64(9); size <= 2000; size += 7 {
+		bSlack := bbc.RoundedSize(size) - size
+		lSlack := lfp.RoundedSize(size) - size
+		if bSlack < lSlack {
+			t.Fatalf("size %d: BBC slack %d < LFP slack %d", size, bSlack, lSlack)
+		}
+		if bSlack > lSlack {
+			weakerSomewhere = true
+		}
+	}
+	if !weakerSomewhere {
+		t.Error("BBC should have strictly more slack for some sizes")
+	}
+}
+
+func TestBBCDetectsCrossSlot(t *testing.T) {
+	bbc := newBBC(t)
+	p, _ := bbc.Malloc(64) // class-exact even under BBC
+	if err := bbc.CheckAnchored(p, p+64, 1, report.Write); err == nil {
+		t.Error("class-exact off-by-one missed")
+	}
+	if err := bbc.Free(p); err != nil {
+		t.Error(err)
+	}
+}

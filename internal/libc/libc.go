@@ -1,0 +1,173 @@
+// Package libc simulates the interposed C library functions every
+// location-based sanitizer ships (§4.5: "ASan provides a runtime guardian
+// function invoked before calling standard functions (e.g., strcpy). The
+// guardian function checks contiguous regions in linear time, and we
+// modify its implementation into GiantSan's constant time check").
+//
+// Each function first runs the active sanitizer's region guardian over the
+// exact byte ranges the C function would touch, records any violation
+// (halt_on_error=false), and performs the operation only when clean. The
+// cost asymmetry the paper exploits shows directly here: a strcpy of N
+// bytes costs ASan ⌈N/8⌉ metadata loads and GiantSan at most four.
+package libc
+
+import (
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// Lib binds the simulated libc to one runtime and error log.
+type Lib struct {
+	rt  rt.Runtime
+	log *report.Log
+}
+
+// New returns a libc bound to run; violations go to log.
+func New(run rt.Runtime, log *report.Log) *Lib {
+	return &Lib{rt: run, log: log}
+}
+
+// guard region-checks [p, p+n) and records failures.
+func (l *Lib) guard(p vmem.Addr, n uint64, t report.AccessType) bool {
+	if n == 0 {
+		return true
+	}
+	if err := l.rt.San().CheckRange(p, p+vmem.Addr(n), t); err != nil {
+		l.log.Record(err)
+		return false
+	}
+	return true
+}
+
+// Memset fills dst[0..n) with c.
+func (l *Lib) Memset(dst vmem.Addr, c byte, n uint64) bool {
+	if !l.guard(dst, n, report.Write) {
+		return false
+	}
+	l.rt.Space().Memset(dst, c, n)
+	return true
+}
+
+// Memcpy copies n bytes; like C, overlapping ranges are the caller's bug,
+// but the simulation performs a safe copy either way.
+func (l *Lib) Memcpy(dst, src vmem.Addr, n uint64) bool {
+	if !l.guard(src, n, report.Read) || !l.guard(dst, n, report.Write) {
+		return false
+	}
+	l.rt.Space().Memcpy(dst, src, n)
+	return true
+}
+
+// Memmove is Memcpy with overlap blessed.
+func (l *Lib) Memmove(dst, src vmem.Addr, n uint64) bool { return l.Memcpy(dst, src, n) }
+
+// Memcmp compares n bytes, returning <0/0/>0 and ok=false if either range
+// is invalid.
+func (l *Lib) Memcmp(a, b vmem.Addr, n uint64) (int, bool) {
+	if !l.guard(a, n, report.Read) || !l.guard(b, n, report.Read) {
+		return 0, false
+	}
+	sp := l.rt.Space()
+	for i := uint64(0); i < n; i++ {
+		av, bv := sp.Load8(a+vmem.Addr(i)), sp.Load8(b+vmem.Addr(i))
+		if av != bv {
+			if av < bv {
+				return -1, true
+			}
+			return 1, true
+		}
+	}
+	return 0, true
+}
+
+// maxScan caps raw NUL scans so a missing terminator cannot walk the
+// whole arena (a real strlen would fault eventually; the guardian check
+// afterwards reports the violation either way).
+const maxScan = 1 << 20
+
+// rawStrlen scans simulated memory for the NUL, exactly like the C
+// routine runs before the interceptor validates — the scan itself may
+// cross into poisoned bytes; the *check* afterwards is what reports.
+func (l *Lib) rawStrlen(s vmem.Addr) uint64 {
+	sp := l.rt.Space()
+	for i := uint64(0); i < maxScan; i++ {
+		if !sp.Contains(s+vmem.Addr(i), 1) {
+			return i
+		}
+		if sp.Load8(s+vmem.Addr(i)) == 0 {
+			return i
+		}
+	}
+	return maxScan
+}
+
+// Strlen returns the string length; the interceptor validates the whole
+// scanned range [s, s+len+1), so a lost terminator is an overread report.
+func (l *Lib) Strlen(s vmem.Addr) (uint64, bool) {
+	n := l.rawStrlen(s)
+	if !l.guard(s, n+1, report.Read) {
+		return n, false
+	}
+	return n, true
+}
+
+// Strcpy copies src (including NUL) into dst.
+func (l *Lib) Strcpy(dst, src vmem.Addr) bool {
+	n := l.rawStrlen(src)
+	if !l.guard(src, n+1, report.Read) {
+		return false
+	}
+	if !l.guard(dst, n+1, report.Write) {
+		return false
+	}
+	l.rt.Space().Memcpy(dst, src, n+1)
+	return true
+}
+
+// Strncpy copies at most n bytes, NUL-padding like C.
+func (l *Lib) Strncpy(dst, src vmem.Addr, n uint64) bool {
+	sl := l.rawStrlen(src)
+	readLen := min(sl+1, n)
+	if !l.guard(src, readLen, report.Read) {
+		return false
+	}
+	if !l.guard(dst, n, report.Write) {
+		return false
+	}
+	sp := l.rt.Space()
+	sp.Memcpy(dst, src, readLen)
+	if readLen < n {
+		sp.Memset(dst+vmem.Addr(readLen), 0, n-readLen)
+	}
+	return true
+}
+
+// Strcat appends src to dst.
+func (l *Lib) Strcat(dst, src vmem.Addr) bool {
+	dl := l.rawStrlen(dst)
+	if !l.guard(dst, dl+1, report.Read) {
+		return false
+	}
+	return l.Strcpy(dst+vmem.Addr(dl), src)
+}
+
+// Strcmp compares two NUL-terminated strings.
+func (l *Lib) Strcmp(a, b vmem.Addr) (int, bool) {
+	al, bl := l.rawStrlen(a), l.rawStrlen(b)
+	if !l.guard(a, al+1, report.Read) || !l.guard(b, bl+1, report.Read) {
+		return 0, false
+	}
+	sp := l.rt.Space()
+	n := min(al, bl) + 1
+	for i := uint64(0); i < n; i++ {
+		av, bv := sp.Load8(a+vmem.Addr(i)), sp.Load8(b+vmem.Addr(i))
+		if av != bv {
+			if av < bv {
+				return -1, true
+			}
+			return 1, true
+		}
+	}
+	return 0, true
+}

@@ -1,0 +1,195 @@
+package libc
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+func newLib(t *testing.T, kind rt.Kind) (*Lib, *rt.Env, *report.Log) {
+	t.Helper()
+	env := rt.New(rt.Config{Kind: kind, HeapBytes: 4 << 20})
+	log := &report.Log{}
+	return New(env, log), env, log
+}
+
+// putString writes a NUL-terminated string into simulated memory.
+func putString(env *rt.Env, p vmem.Addr, s string) {
+	for i := 0; i < len(s); i++ {
+		env.Space().Store8(p+vmem.Addr(i), s[i])
+	}
+	env.Space().Store8(p+vmem.Addr(len(s)), 0)
+}
+
+func TestMemsetCleanAndOverflow(t *testing.T) {
+	l, env, log := newLib(t, rt.GiantSan)
+	buf, _ := env.Malloc(256)
+	if !l.Memset(buf, 0x7f, 256) {
+		t.Fatal("clean memset refused")
+	}
+	if env.Space().Load8(buf+255) != 0x7f {
+		t.Error("memset did not write")
+	}
+	if l.Memset(buf, 0, 257) {
+		t.Error("overflowing memset allowed")
+	}
+	if log.Total() != 1 {
+		t.Errorf("errors = %d", log.Total())
+	}
+}
+
+func TestMemcpyOverlapAndBounds(t *testing.T) {
+	l, env, log := newLib(t, rt.GiantSan)
+	a, _ := env.Malloc(128)
+	b, _ := env.Malloc(64)
+	if !l.Memcpy(b, a, 64) {
+		t.Fatal("clean memcpy refused")
+	}
+	if l.Memcpy(b, a, 65) {
+		t.Error("dst overflow allowed")
+	}
+	if errs := log.Errors; errs[len(errs)-1].Access != report.Write {
+		t.Error("should fault on the write side")
+	}
+	if !l.Memmove(a+8, a, 64) {
+		t.Error("overlapping memmove refused")
+	}
+}
+
+func TestStrlenAndLostTerminator(t *testing.T) {
+	l, env, log := newLib(t, rt.GiantSan)
+	s, _ := env.Malloc(32)
+	putString(env, s, "hello")
+	n, ok := l.Strlen(s)
+	if !ok || n != 5 {
+		t.Fatalf("Strlen = %d,%v", n, ok)
+	}
+	// Fill the whole buffer with non-NUL bytes: the scan runs into the
+	// redzone and the guardian reports the overread.
+	l.Memset(s, 'x', 32)
+	if _, ok := l.Strlen(s); ok {
+		t.Error("unterminated strlen not reported")
+	}
+	if log.Total() == 0 || log.Errors[0].Access != report.Read {
+		t.Errorf("log: %v", log.Errors)
+	}
+}
+
+func TestStrcpyOverflow(t *testing.T) {
+	for _, kind := range []rt.Kind{rt.GiantSan, rt.ASan} {
+		l, env, log := newLib(t, kind)
+		src, _ := env.Malloc(32)
+		putString(env, src, "0123456789abcdef") // 16 chars + NUL
+		small, _ := env.Malloc(8)
+		if l.Strcpy(small, src) {
+			t.Errorf("%v: strcpy overflow allowed", kind)
+		}
+		if log.Total() != 1 {
+			t.Errorf("%v: errors = %d", kind, log.Total())
+		}
+		big, _ := env.Malloc(32)
+		if !l.Strcpy(big, src) {
+			t.Errorf("%v: clean strcpy refused", kind)
+		}
+		if got, _ := l.Strlen(big); got != 16 {
+			t.Errorf("%v: copied strlen = %d", kind, got)
+		}
+	}
+}
+
+func TestStrncpyPadding(t *testing.T) {
+	l, env, _ := newLib(t, rt.GiantSan)
+	src, _ := env.Malloc(16)
+	putString(env, src, "ab")
+	dst, _ := env.Malloc(8)
+	if !l.Strncpy(dst, src, 8) {
+		t.Fatal("clean strncpy refused")
+	}
+	for i := uint64(3); i < 8; i++ {
+		if env.Space().Load8(dst+vmem.Addr(i)) != 0 {
+			t.Error("strncpy did not NUL-pad")
+		}
+	}
+	if l.Strncpy(dst, src, 9) {
+		t.Error("strncpy dst overflow allowed")
+	}
+}
+
+func TestStrcatAndStrcmp(t *testing.T) {
+	l, env, _ := newLib(t, rt.GiantSan)
+	a, _ := env.Malloc(32)
+	b, _ := env.Malloc(16)
+	putString(env, a, "foo")
+	putString(env, b, "bar")
+	if !l.Strcat(a, b) {
+		t.Fatal("clean strcat refused")
+	}
+	want, _ := env.Malloc(16)
+	putString(env, want, "foobar")
+	if cmp, ok := l.Strcmp(a, want); !ok || cmp != 0 {
+		t.Errorf("Strcmp = %d,%v", cmp, ok)
+	}
+	less, _ := env.Malloc(16)
+	putString(env, less, "fooba")
+	if cmp, _ := l.Strcmp(less, a); cmp >= 0 {
+		t.Error("strcmp ordering wrong")
+	}
+}
+
+func TestMemcmp(t *testing.T) {
+	l, env, _ := newLib(t, rt.GiantSan)
+	a, _ := env.Malloc(16)
+	b, _ := env.Malloc(16)
+	l.Memset(a, 1, 16)
+	l.Memset(b, 1, 16)
+	if cmp, ok := l.Memcmp(a, b, 16); !ok || cmp != 0 {
+		t.Errorf("equal Memcmp = %d,%v", cmp, ok)
+	}
+	env.Space().Store8(b+8, 2)
+	if cmp, _ := l.Memcmp(a, b, 16); cmp != -1 {
+		t.Errorf("Memcmp = %d, want -1", cmp)
+	}
+	if _, ok := l.Memcmp(a, b, 17); ok {
+		t.Error("overread memcmp allowed")
+	}
+}
+
+// TestGuardianCostAsymmetry is §4.5's point: the same strcpy costs ASan a
+// metadata load per 8 bytes and GiantSan O(1).
+func TestGuardianCostAsymmetry(t *testing.T) {
+	const n = 4096
+	mk := func(kind rt.Kind) uint64 {
+		l, env, _ := newLib(t, kind)
+		src, _ := env.Malloc(n + 8)
+		l.Memset(src, 'a', n)
+		env.Space().Store8(src+vmem.Addr(n), 0)
+		dst, _ := env.Malloc(n + 8)
+		before := env.San().Stats().ShadowLoads
+		if !l.Strcpy(dst, src) {
+			t.Fatal("clean strcpy refused")
+		}
+		return env.San().Stats().ShadowLoads - before
+	}
+	gs := mk(rt.GiantSan)
+	as := mk(rt.ASan)
+	if gs > 8 {
+		t.Errorf("GiantSan guardian loads = %d, want O(1)", gs)
+	}
+	if as < n/8 {
+		t.Errorf("ASan guardian loads = %d, want ≥ %d", as, n/8)
+	}
+}
+
+func TestUseAfterFreeThroughLibc(t *testing.T) {
+	l, env, log := newLib(t, rt.GiantSan)
+	buf, _ := env.Malloc(64)
+	env.Free(buf)
+	if l.Memset(buf, 0, 64) {
+		t.Error("memset into freed memory allowed")
+	}
+	if log.Errors[0].Kind != report.UseAfterFree {
+		t.Errorf("kind = %v", log.Errors[0].Kind)
+	}
+}

@@ -1,0 +1,85 @@
+package magma
+
+import "testing"
+
+func TestProjectsPopulation(t *testing.T) {
+	ps := Projects()
+	if len(ps) != 7 {
+		t.Fatalf("projects = %d, want 7", len(ps))
+	}
+	total := 0
+	for _, p := range ps {
+		total += p.Total()
+	}
+	if total != 58969 {
+		t.Errorf("total POCs = %d, want 58969 (Magma's corpus size)", total)
+	}
+}
+
+// TestTable5PHP regenerates the headline row: the php deltas between
+// redzone settings and the anchored GiantSan. The detection counts come
+// out of real layouts and real checks; the assertions pin them to the
+// paper's exact cells.
+func TestTable5PHP(t *testing.T) {
+	var php Project
+	for _, p := range Projects() {
+		if p.Name == "php" {
+			php = p
+		}
+	}
+	res := Run(php)
+	want := map[string]int{
+		"asan(rz=16)":     1556,
+		"asan(rz=512)":    1962,
+		"asan--(rz=16)":   1556,
+		"asan--(rz=512)":  1962,
+		"giantsan(rz=16)": 2019,
+	}
+	for cfg, w := range want {
+		if got := res.Counts[cfg]; got != w {
+			t.Errorf("php %s = %d, want %d", cfg, got, w)
+		}
+	}
+	// The paper's two headline deltas.
+	if d := res.Counts["giantsan(rz=16)"] - res.Counts["asan(rz=16)"]; d != 463 {
+		t.Errorf("GiantSan(rz16) - ASan(rz16) = %d, want 463", d)
+	}
+	if d := res.Counts["giantsan(rz=16)"] - res.Counts["asan(rz=512)"]; d != 57 {
+		t.Errorf("GiantSan(rz16) - ASan(rz512) = %d, want 57", d)
+	}
+}
+
+// TestTable5SmallStrideProjects: projects whose POCs are all small-stride
+// must be detected identically by every configuration (the paper's
+// libpng/libtiff/sqlite3 rows).
+func TestTable5SmallStrideProjects(t *testing.T) {
+	for _, p := range Projects() {
+		if p.Name != "libpng" && p.Name != "sqlite3" {
+			continue
+		}
+		res := Run(p)
+		for _, cfg := range Configs() {
+			if got := res.Counts[cfg.Name]; got != p.Small {
+				t.Errorf("%s %s = %d, want %d", p.Name, cfg.Name, got, p.Small)
+			}
+		}
+	}
+}
+
+// TestNonMemoryCasesNeverDetected: openssl's population is dominated by
+// bugs that are not memory errors for these tools; no configuration may
+// flag them.
+func TestNonMemoryCasesNeverDetected(t *testing.T) {
+	var ssl Project
+	for _, p := range Projects() {
+		if p.Name == "openssl" {
+			ssl = p
+		}
+	}
+	res := Run(ssl)
+	for _, cfg := range Configs() {
+		if got := res.Counts[cfg.Name]; got != ssl.Small {
+			t.Errorf("openssl %s = %d, want %d (only the memory-error POCs)", cfg.Name, got, ssl.Small)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package oracle maintains byte-granular ground truth about addressability.
+//
+// The oracle is the reference semantics of the simulated memory: one bit of
+// truth per byte plus an object registry. It is deliberately slow and
+// obviously correct, so property tests can compare every sanitizer's verdict
+// against it, and detection suites can label cases as true/false
+// positives/negatives.
+package oracle
+
+import (
+	"fmt"
+
+	"giantsan/internal/vmem"
+)
+
+// State is the ground-truth state of one byte.
+type State uint8
+
+// Byte states tracked by the oracle.
+const (
+	// Unallocated memory was never handed out by any allocator.
+	Unallocated State = iota
+	// Live bytes belong to a currently valid object.
+	Live
+	// Redzone bytes are sanitizer padding around an object.
+	Redzone
+	// Freed bytes belonged to an object that has been deallocated.
+	Freed
+)
+
+// Region identifies where an object lives.
+type Region int
+
+// Object regions.
+const (
+	Heap Region = iota
+	Stack
+	Global
+)
+
+func (r Region) String() string {
+	switch r {
+	case Heap:
+		return "heap"
+	case Stack:
+		return "stack"
+	default:
+		return "global"
+	}
+}
+
+// Object records one allocation known to the oracle.
+type Object struct {
+	Base   vmem.Addr
+	Size   uint64
+	Region Region
+	Live   bool
+	// Label optionally names the allocation site for diagnostics.
+	Label string
+}
+
+// End returns one past the last byte of the object.
+func (o *Object) End() vmem.Addr { return o.Base + o.Size }
+
+// Oracle tracks ground truth for one address space.
+type Oracle struct {
+	base    vmem.Addr
+	states  []State
+	objects map[vmem.Addr]*Object // keyed by base address, live and freed
+}
+
+// New returns an oracle covering the whole space; all bytes Unallocated.
+func New(sp *vmem.Space) *Oracle {
+	return &Oracle{
+		base:    sp.Base(),
+		states:  make([]State, sp.Size()),
+		objects: make(map[vmem.Addr]*Object),
+	}
+}
+
+func (o *Oracle) idx(a vmem.Addr) int {
+	i := int(a - o.base)
+	if a < o.base || i >= len(o.states) {
+		panic(fmt.Sprintf("oracle: address %#x outside tracked space", a))
+	}
+	return i
+}
+
+func (o *Oracle) set(a vmem.Addr, n uint64, s State) {
+	start := o.idx(a)
+	if n > 0 {
+		_ = o.idx(a + n - 1)
+	}
+	region := o.states[start : start+int(n)]
+	for i := range region {
+		region[i] = s
+	}
+}
+
+// Alloc registers a live object and marks its bytes Live and its redzones
+// Redzone. rzLeft/rzRight may be zero.
+func (o *Oracle) Alloc(base vmem.Addr, size uint64, rzLeft, rzRight uint64, region Region, label string) *Object {
+	if prev, ok := o.objects[base]; ok && prev.Live {
+		panic(fmt.Sprintf("oracle: overlapping live allocation at %#x", base))
+	}
+	if rzLeft > 0 {
+		o.set(base-rzLeft, rzLeft, Redzone)
+	}
+	o.set(base, size, Live)
+	if rzRight > 0 {
+		o.set(base+size, rzRight, Redzone)
+	}
+	obj := &Object{Base: base, Size: size, Region: region, Live: true, Label: label}
+	o.objects[base] = obj
+	return obj
+}
+
+// Free marks an object's bytes Freed. It returns false when base is not a
+// live allocation (double or invalid free).
+func (o *Oracle) Free(base vmem.Addr) bool {
+	obj, ok := o.objects[base]
+	if !ok || !obj.Live {
+		return false
+	}
+	obj.Live = false
+	o.set(obj.Base, obj.Size, Freed)
+	return true
+}
+
+// Recycle marks a previously freed or redzone range Unallocated again, used
+// when the allocator reuses quarantined memory.
+func (o *Oracle) Recycle(base vmem.Addr, size uint64) {
+	o.set(base, size, Unallocated)
+	if obj, ok := o.objects[base]; ok && !obj.Live {
+		delete(o.objects, base)
+	}
+}
+
+// StateAt returns the ground-truth state of one byte.
+func (o *Oracle) StateAt(a vmem.Addr) State { return o.states[o.idx(a)] }
+
+// Addressable reports whether all n bytes starting at a are Live.
+func (o *Oracle) Addressable(a vmem.Addr, n uint64) bool {
+	if n == 0 {
+		return true
+	}
+	start := o.idx(a)
+	_ = o.idx(a + n - 1)
+	for _, s := range o.states[start : start+int(n)] {
+		if s != Live {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstBad returns the address of the first non-Live byte in [a, a+n) and
+// its state. ok is false when the whole range is Live.
+func (o *Oracle) FirstBad(a vmem.Addr, n uint64) (addr vmem.Addr, s State, ok bool) {
+	if n == 0 {
+		return 0, Unallocated, false
+	}
+	start := o.idx(a)
+	_ = o.idx(a + n - 1)
+	for i, st := range o.states[start : start+int(n)] {
+		if st != Live {
+			return a + vmem.Addr(i), st, true
+		}
+	}
+	return 0, Unallocated, false
+}
+
+// ObjectAt returns the live object containing address a, or nil.
+func (o *Oracle) ObjectAt(a vmem.Addr) *Object {
+	for _, obj := range o.objects {
+		if obj.Live && a >= obj.Base && a < obj.End() {
+			return obj
+		}
+	}
+	return nil
+}
+
+// Object returns the object (live or freed) with the given base, or nil.
+func (o *Oracle) Object(base vmem.Addr) *Object { return o.objects[base] }
+
+// LiveObjects returns all currently live objects.
+func (o *Oracle) LiveObjects() []*Object {
+	var out []*Object
+	for _, obj := range o.objects {
+		if obj.Live {
+			out = append(out, obj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package oracle
+
+import (
+	"testing"
+
+	"giantsan/internal/vmem"
+)
+
+func newOracle(t *testing.T) (*vmem.Space, *Oracle) {
+	t.Helper()
+	sp := vmem.NewSpace(1 << 12)
+	return sp, New(sp)
+}
+
+func TestAllocMarksStates(t *testing.T) {
+	sp, o := newOracle(t)
+	base := sp.Base() + 64
+	o.Alloc(base, 24, 16, 16, Heap, "obj")
+
+	if o.StateAt(base-16) != Redzone || o.StateAt(base-1) != Redzone {
+		t.Error("left redzone not marked")
+	}
+	if o.StateAt(base) != Live || o.StateAt(base+23) != Live {
+		t.Error("object bytes not live")
+	}
+	if o.StateAt(base+24) != Redzone || o.StateAt(base+39) != Redzone {
+		t.Error("right redzone not marked")
+	}
+	if o.StateAt(base+40) != Unallocated {
+		t.Error("bytes beyond redzone should stay unallocated")
+	}
+}
+
+func TestAddressable(t *testing.T) {
+	sp, o := newOracle(t)
+	base := sp.Base() + 64
+	o.Alloc(base, 24, 8, 8, Heap, "")
+
+	if !o.Addressable(base, 24) {
+		t.Error("whole object should be addressable")
+	}
+	if o.Addressable(base, 25) {
+		t.Error("one past the end should not be addressable")
+	}
+	if o.Addressable(base-1, 1) {
+		t.Error("left redzone should not be addressable")
+	}
+	if !o.Addressable(base+10, 0) {
+		t.Error("empty range is always addressable")
+	}
+}
+
+func TestFirstBad(t *testing.T) {
+	sp, o := newOracle(t)
+	base := sp.Base() + 64
+	o.Alloc(base, 24, 8, 8, Heap, "")
+
+	if _, _, bad := o.FirstBad(base, 24); bad {
+		t.Error("no bad byte expected inside object")
+	}
+	addr, st, bad := o.FirstBad(base+20, 8)
+	if !bad || addr != base+24 || st != Redzone {
+		t.Errorf("FirstBad = (%#x, %v, %v), want (%#x, Redzone, true)", addr, st, bad, base+24)
+	}
+}
+
+func TestFreeAndDoubleFree(t *testing.T) {
+	sp, o := newOracle(t)
+	base := sp.Base() + 64
+	o.Alloc(base, 16, 0, 0, Heap, "")
+
+	if !o.Free(base) {
+		t.Fatal("first free failed")
+	}
+	if o.StateAt(base) != Freed {
+		t.Error("bytes not marked freed")
+	}
+	if o.Free(base) {
+		t.Error("double free should report false")
+	}
+	if o.Free(base + 4) {
+		t.Error("invalid free should report false")
+	}
+}
+
+func TestRecycle(t *testing.T) {
+	sp, o := newOracle(t)
+	base := sp.Base() + 64
+	o.Alloc(base, 16, 0, 0, Heap, "")
+	o.Free(base)
+	o.Recycle(base, 16)
+	if o.StateAt(base) != Unallocated {
+		t.Error("recycled bytes should be unallocated")
+	}
+	if o.Object(base) != nil {
+		t.Error("recycled object should be forgotten")
+	}
+	// The address can now be allocated again.
+	o.Alloc(base, 16, 0, 0, Heap, "again")
+	if !o.Addressable(base, 16) {
+		t.Error("re-allocation failed")
+	}
+}
+
+func TestObjectAt(t *testing.T) {
+	sp, o := newOracle(t)
+	base := sp.Base() + 128
+	obj := o.Alloc(base, 32, 8, 8, Stack, "local")
+
+	if got := o.ObjectAt(base + 31); got != obj {
+		t.Error("ObjectAt inside object failed")
+	}
+	if o.ObjectAt(base+32) != nil {
+		t.Error("ObjectAt one past the end should be nil")
+	}
+	o.Free(base)
+	if o.ObjectAt(base) != nil {
+		t.Error("freed object should not be found by ObjectAt")
+	}
+	if o.Object(base) != obj {
+		t.Error("Object should still return the freed object by base")
+	}
+}
+
+func TestLiveObjects(t *testing.T) {
+	sp, o := newOracle(t)
+	o.Alloc(sp.Base()+64, 8, 0, 0, Heap, "a")
+	o.Alloc(sp.Base()+128, 8, 0, 0, Heap, "b")
+	o.Free(sp.Base() + 64)
+	live := o.LiveObjects()
+	if len(live) != 1 || live[0].Label != "b" {
+		t.Errorf("LiveObjects = %v", live)
+	}
+}
+
+func TestOverlappingLiveAllocPanics(t *testing.T) {
+	sp, o := newOracle(t)
+	o.Alloc(sp.Base()+64, 8, 0, 0, Heap, "")
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping live alloc at same base did not panic")
+		}
+	}()
+	o.Alloc(sp.Base()+64, 8, 0, 0, Heap, "")
+}
+
+func TestRegionString(t *testing.T) {
+	if Heap.String() != "heap" || Stack.String() != "stack" || Global.String() != "global" {
+		t.Error("region names wrong")
+	}
+}

@@ -1,0 +1,289 @@
+// Package progen generates random ir programs with by-construction ground
+// truth, for differential testing of the whole pipeline (generator →
+// analysis → instrumentation → execution → sanitizer).
+//
+// Two generators:
+//
+//   - Clean(seed): a random program every access of which is in bounds.
+//     Any report from any sanitizer is a false positive; any checksum
+//     difference between instrumentation profiles is a semantics bug.
+//   - Buggy(seed): the same program with exactly one access pushed out of
+//     bounds by at most 8 bytes (inside every redzone), so every
+//     shadow-based sanitizer must report at least once.
+//
+// The generator favours the constructs the planner treats specially —
+// bounded and unbounded loops, reverse loops, constant-offset bursts,
+// data-dependent subscripts, calls, intrinsics, frees — so the fuzz tests
+// sweep the Mode space of internal/instrument, not just straight-line
+// code.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"giantsan/internal/ir"
+)
+
+// buffer tracks one allocation the generator can target.
+type buffer struct {
+	name string
+	size int64
+	heap bool
+}
+
+// Gen holds generator state.
+type Gen struct {
+	rng    *rand.Rand
+	bufs   []buffer
+	nextID int
+	depth  int
+	// accesses counts generated Load/Store statements, used to pick the
+	// planted-bug site.
+	accesses int
+	// bugAt, when ≥ 0, is the access ordinal to push out of bounds.
+	bugAt int
+	// buggyShape selects the buggy generation shape (If conditions forced
+	// true so a planted bug always executes); it must match between the
+	// counting probe and the planting run so access ordinals line up.
+	buggyShape bool
+	// Bugged reports whether the bug site was actually emitted.
+	Bugged bool
+}
+
+// Clean generates a program with no memory errors.
+func Clean(seed int64) *ir.Prog {
+	g := &Gen{rng: rand.New(rand.NewSource(seed)), bugAt: -1}
+	return g.prog(fmt.Sprintf("fuzz-clean-%d", seed))
+}
+
+// Buggy generates the same program shape with one out-of-bounds access.
+// The second return is false in the rare case the chosen site was not
+// reached (caller should skip the seed).
+func Buggy(seed int64) (*ir.Prog, bool) {
+	probe := &Gen{rng: rand.New(rand.NewSource(seed)), bugAt: -1, buggyShape: true}
+	probe.prog("probe")
+	if probe.accesses == 0 {
+		return nil, false
+	}
+	g := &Gen{
+		rng:        rand.New(rand.NewSource(seed)),
+		bugAt:      rand.New(rand.NewSource(seed ^ 0x5eed)).Intn(probe.accesses),
+		buggyShape: true,
+	}
+	p := g.prog(fmt.Sprintf("fuzz-buggy-%d", seed))
+	return p, g.Bugged
+}
+
+func (g *Gen) prog(name string) *ir.Prog {
+	g.bufs = nil
+	g.nextID = 0
+	g.depth = 0
+	g.accesses = 0
+	body := []ir.Stmt{}
+	// A few root buffers so every block has targets.
+	for i := 0; i < 3+g.rng.Intn(3); i++ {
+		body = append(body, g.alloc())
+	}
+	body = append(body, g.block(4+g.rng.Intn(6))...)
+	// Free a random subset at the end (never mid-use: the generator does
+	// not emit accesses after a free of the same buffer because frees
+	// only happen here).
+	for _, b := range g.bufs {
+		if b.heap && g.rng.Intn(2) == 0 {
+			body = append(body, &ir.Free{Ptr: b.name})
+		}
+	}
+	return &ir.Prog{Name: name, Body: body}
+}
+
+// alloc creates a new heap buffer with a tracked size.
+func (g *Gen) alloc() ir.Stmt {
+	name := fmt.Sprintf("buf%d", g.nextID)
+	g.nextID++
+	size := int64(g.rng.Intn(4000) + 16)
+	g.bufs = append(g.bufs, buffer{name: name, size: size, heap: true})
+	return &ir.Malloc{Dst: name, Size: ir.Const(size)}
+}
+
+// pick returns a random existing buffer.
+func (g *Gen) pick() buffer {
+	return g.bufs[g.rng.Intn(len(g.bufs))]
+}
+
+// block emits n random statements.
+func (g *Gen) block(n int) []ir.Stmt {
+	var out []ir.Stmt
+	for i := 0; i < n; i++ {
+		switch k := g.rng.Intn(10); {
+		case k < 3:
+			out = append(out, g.access(nil, 0))
+		case k < 4 && g.depth < 1:
+			out = append(out, g.constBurst()...)
+		case k < 7 && g.depth < 3:
+			out = append(out, g.loop())
+		case k < 8:
+			out = append(out, g.intrinsic())
+		case k < 9 && g.depth < 2:
+			out = append(out, &ir.Call{Body: g.block(1 + g.rng.Intn(2))})
+		case k < 10 && g.depth < 2:
+			// In buggy shape the condition is forced true so a bug planted
+			// in the Then branch is guaranteed to execute.
+			g.depth++
+			var cond ir.Expr = ir.Rand{N: ir.Const(2)}
+			if g.buggyShape {
+				cond = ir.Const(1)
+			}
+			stmt := &ir.If{
+				Cond: cond,
+				Then: g.block(1),
+				Else: []ir.Stmt{&ir.Opaque{}},
+			}
+			g.depth--
+			out = append(out, stmt)
+		default:
+			out = append(out, &ir.Opaque{})
+		}
+	}
+	return out
+}
+
+// sizes of generated accesses.
+var widths = []int{1, 2, 4, 8}
+
+// access emits one Load or Store. When loopVar is non-empty, the access
+// may be affine in it with trip count trip.
+func (g *Gen) access(loopVar *string, trip int64) ir.Stmt {
+	b := g.pick()
+	w := widths[g.rng.Intn(len(widths))]
+	var idx ir.Expr
+	var scale, off int64
+
+	style := g.rng.Intn(3)
+	if loopVar == nil && style == 1 {
+		style = 0 // affine needs a loop
+	}
+	switch style {
+	case 1: // affine: scale*(trip-1) + off + w ≤ size
+		maxScale := (b.size - int64(w)) / max64(trip, 1)
+		if maxScale < 1 {
+			idx, scale, off = nil, 0, g.inBoundsOff(b, w)
+			break
+		}
+		scale = 1 + g.rng.Int63n(min64(maxScale, 64))
+		slack := b.size - int64(w) - scale*(trip-1)
+		if slack > 0 {
+			off = g.rng.Int63n(slack)
+		}
+		idx = ir.Var(*loopVar)
+	case 2: // data-dependent: rand(n) with n·scale + off + w ≤ size
+		scale = int64(w)
+		n := (b.size - int64(w)) / scale
+		if n < 1 {
+			idx, scale, off = nil, 0, g.inBoundsOff(b, w)
+			break
+		}
+		idx = ir.Rand{N: ir.Const(n)}
+	default: // constant offset
+		idx, scale, off = nil, 0, g.inBoundsOff(b, w)
+	}
+
+	// Plant the bug here?
+	if g.bugAt == g.accesses {
+		g.Bugged = true
+		// Push past the end: offset = size + delta with the whole access
+		// inside the 16-byte redzone.
+		delta := int64(g.rng.Intn(8))
+		idx, scale = nil, 0
+		off = b.size + delta
+		if off+int64(w) > b.size+16 {
+			off = b.size
+		}
+	}
+	g.accesses++
+
+	if g.rng.Intn(2) == 0 {
+		return &ir.Load{Dst: fmt.Sprintf("v%d", g.rng.Intn(8)), Base: b.name, Idx: idx, Scale: scale, Off: off, Size: w}
+	}
+	return &ir.Store{Base: b.name, Idx: idx, Scale: scale, Off: off, Size: w, Val: ir.Const(int64(g.rng.Intn(1000)))}
+}
+
+// inBoundsOff returns a constant offset keeping [off, off+w) inside b.
+func (g *Gen) inBoundsOff(b buffer, w int) int64 {
+	if b.size <= int64(w) {
+		return 0
+	}
+	return g.rng.Int63n(b.size - int64(w) + 1)
+}
+
+// constBurst emits 2-4 constant-offset accesses to one buffer — the
+// must-alias grouping fodder.
+func (g *Gen) constBurst() []ir.Stmt {
+	b := g.pick()
+	n := 2 + g.rng.Intn(3)
+	var out []ir.Stmt
+	for i := 0; i < n; i++ {
+		w := widths[g.rng.Intn(len(widths))]
+		if g.bugAt == g.accesses {
+			// Delegate bug planting to access for consistency.
+			out = append(out, g.access(nil, 0))
+			continue
+		}
+		g.accesses++
+		out = append(out, &ir.Store{Base: b.name, Off: g.inBoundsOff(b, w), Size: w, Val: ir.Const(int64(i))})
+	}
+	return out
+}
+
+// loop emits a counted loop, randomly bounded/unbounded and possibly
+// reversed, with affine and dynamic accesses inside.
+func (g *Gen) loop() ir.Stmt {
+	g.depth++
+	defer func() { g.depth-- }()
+	trip := int64(g.rng.Intn(40) + 1)
+	v := fmt.Sprintf("i%d", g.nextID)
+	g.nextID++
+	var body []ir.Stmt
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		body = append(body, g.access(&v, trip))
+	}
+	if g.depth < 2 && g.rng.Intn(4) == 0 {
+		body = append(body, g.loop())
+	}
+	return &ir.Loop{
+		Var:     v,
+		N:       ir.Const(trip),
+		Bounded: g.rng.Intn(2) == 0,
+		Reverse: g.rng.Intn(5) == 0,
+		Body:    body,
+	}
+}
+
+// intrinsic emits an in-bounds memset or memcpy.
+func (g *Gen) intrinsic() ir.Stmt {
+	b := g.pick()
+	if g.rng.Intn(2) == 0 || len(g.bufs) < 2 {
+		n := g.rng.Int63n(b.size) + 1
+		return &ir.Memset{Base: b.name, Val: ir.Const(int64(g.rng.Intn(256))), Len: ir.Const(n)}
+	}
+	src := g.pick()
+	n := min64(b.size, src.size)
+	if n > 1 {
+		n = g.rng.Int63n(n-1) + 1
+	}
+	return &ir.Memcpy{Dst: b.name, Src: src.name, Len: ir.Const(n)}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+// Package report defines the memory-error model shared by all sanitizers.
+//
+// A sanitizer check returns *Error (nil means the access is safe). Following
+// the paper's SPEC configuration (halt_on_error=false), the execution engine
+// records errors and continues, so Error values are plain data, not panics.
+package report
+
+import "fmt"
+
+// Kind classifies a memory safety violation.
+type Kind int
+
+// Error kinds. Spatial errors come first, then temporal, then the rest.
+const (
+	// OK is the zero Kind and never appears in a non-nil Error.
+	OK Kind = iota
+	// HeapBufferOverflow is an access beyond an allocation's upper bound.
+	HeapBufferOverflow
+	// HeapBufferUnderflow is an access below an allocation's lower bound.
+	HeapBufferUnderflow
+	// StackBufferOverflow is an access outside a stack object.
+	StackBufferOverflow
+	// GlobalBufferOverflow is an access outside a global object.
+	GlobalBufferOverflow
+	// UseAfterFree is an access to a freed (quarantined) heap region.
+	UseAfterFree
+	// UseAfterReturn is an access to a popped stack frame.
+	UseAfterReturn
+	// DoubleFree is a second free of the same allocation.
+	DoubleFree
+	// InvalidFree is a free of a pointer that is not an allocation start.
+	InvalidFree
+	// NullDereference is an access through address zero (or near it).
+	NullDereference
+	// WildAccess is an access to memory no allocator ever handed out.
+	WildAccess
+)
+
+var kindNames = map[Kind]string{
+	OK:                   "ok",
+	HeapBufferOverflow:   "heap-buffer-overflow",
+	HeapBufferUnderflow:  "heap-buffer-underflow",
+	StackBufferOverflow:  "stack-buffer-overflow",
+	GlobalBufferOverflow: "global-buffer-overflow",
+	UseAfterFree:         "heap-use-after-free",
+	UseAfterReturn:       "stack-use-after-return",
+	DoubleFree:           "attempting-double-free",
+	InvalidFree:          "attempting-free-on-non-malloced-address",
+	NullDereference:      "null-dereference",
+	WildAccess:           "wild-access",
+}
+
+// String returns the ASan-style report name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Spatial reports whether k is a spatial (bounds) violation.
+func (k Kind) Spatial() bool {
+	switch k {
+	case HeapBufferOverflow, HeapBufferUnderflow, StackBufferOverflow, GlobalBufferOverflow:
+		return true
+	}
+	return false
+}
+
+// Temporal reports whether k is a temporal (lifetime) violation.
+func (k Kind) Temporal() bool {
+	switch k {
+	case UseAfterFree, UseAfterReturn, DoubleFree:
+		return true
+	}
+	return false
+}
+
+// AccessType says whether the faulting operation read or wrote memory.
+type AccessType int
+
+// Access types.
+const (
+	Read AccessType = iota
+	Write
+	FreeOp
+)
+
+func (t AccessType) String() string {
+	switch t {
+	case Read:
+		return "READ"
+	case Write:
+		return "WRITE"
+	default:
+		return "FREE"
+	}
+}
+
+// Error describes one detected memory safety violation.
+type Error struct {
+	Kind   Kind
+	Access AccessType
+	// Addr is the first faulting address.
+	Addr uint64
+	// Size is the access width in bytes (0 when unknown, e.g. for frees).
+	Size uint64
+	// Detector names the sanitizer that found the error.
+	Detector string
+	// Context optionally names the workload site (allocation label, CWE
+	// case id, ...) for report rendering.
+	Context string
+}
+
+// Error implements the error interface with an ASan-flavoured one-liner.
+func (e *Error) Error() string {
+	if e == nil {
+		return "<nil>"
+	}
+	msg := fmt.Sprintf("%s: %s of size %d at %#x", e.Kind, e.Access, e.Size, e.Addr)
+	if e.Detector != "" {
+		msg += " [" + e.Detector + "]"
+	}
+	if e.Context != "" {
+		msg += " (" + e.Context + ")"
+	}
+	return msg
+}
+
+// Log accumulates errors during a run (halt_on_error=false semantics).
+// The zero value is ready to use.
+type Log struct {
+	Errors []*Error
+	// Cap bounds the number of retained errors to keep pathological runs
+	// small; counting continues past it. Zero means 4096.
+	Cap   int
+	total int
+}
+
+// Record appends err (ignoring nil) and returns err for convenience.
+func (l *Log) Record(err *Error) *Error {
+	if err == nil {
+		return nil
+	}
+	l.total++
+	limit := l.Cap
+	if limit == 0 {
+		limit = 4096
+	}
+	if len(l.Errors) < limit {
+		l.Errors = append(l.Errors, err)
+	}
+	return err
+}
+
+// Total returns the number of errors recorded, including dropped ones.
+func (l *Log) Total() int { return l.total }
+
+// Reset clears the log for reuse.
+func (l *Log) Reset() {
+	l.Errors = l.Errors[:0]
+	l.total = 0
+}
+
+// CountKind returns how many retained errors have the given kind.
+func (l *Log) CountKind(k Kind) int {
+	n := 0
+	for _, e := range l.Errors {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if HeapBufferOverflow.String() != "heap-buffer-overflow" {
+		t.Errorf("got %q", HeapBufferOverflow.String())
+	}
+	if UseAfterFree.String() != "heap-use-after-free" {
+		t.Errorf("got %q", UseAfterFree.String())
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind renders as %q", got)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	spatial := []Kind{HeapBufferOverflow, HeapBufferUnderflow, StackBufferOverflow, GlobalBufferOverflow}
+	temporal := []Kind{UseAfterFree, UseAfterReturn, DoubleFree}
+	for _, k := range spatial {
+		if !k.Spatial() || k.Temporal() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	for _, k := range temporal {
+		if !k.Temporal() || k.Spatial() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	if NullDereference.Spatial() || NullDereference.Temporal() {
+		t.Error("null-dereference should be neither spatial nor temporal")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := &Error{Kind: HeapBufferOverflow, Access: Write, Addr: 0x1234, Size: 8, Detector: "giantsan", Context: "case-1"}
+	s := e.Error()
+	for _, want := range []string{"heap-buffer-overflow", "WRITE", "0x1234", "giantsan", "case-1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q missing %q", s, want)
+		}
+	}
+	var nilErr *Error
+	if nilErr.Error() != "<nil>" {
+		t.Error("nil error string")
+	}
+}
+
+func TestLogRecordAndTotal(t *testing.T) {
+	var l Log
+	if l.Record(nil) != nil {
+		t.Error("Record(nil) should return nil")
+	}
+	if l.Total() != 0 {
+		t.Error("nil record counted")
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(&Error{Kind: UseAfterFree})
+	}
+	if l.Total() != 10 || len(l.Errors) != 10 {
+		t.Errorf("Total = %d, retained = %d", l.Total(), len(l.Errors))
+	}
+	if l.CountKind(UseAfterFree) != 10 || l.CountKind(DoubleFree) != 0 {
+		t.Error("CountKind wrong")
+	}
+	l.Reset()
+	if l.Total() != 0 || len(l.Errors) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestLogCap(t *testing.T) {
+	l := Log{Cap: 3}
+	for i := 0; i < 10; i++ {
+		l.Record(&Error{Kind: WildAccess})
+	}
+	if len(l.Errors) != 3 {
+		t.Errorf("retained %d, want 3", len(l.Errors))
+	}
+	if l.Total() != 10 {
+		t.Errorf("Total = %d, want 10", l.Total())
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if Read.String() != "READ" || Write.String() != "WRITE" || FreeOp.String() != "FREE" {
+		t.Error("access type names wrong")
+	}
+}

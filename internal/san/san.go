@@ -1,0 +1,142 @@
+// Package san defines the contracts shared by every sanitizer in this
+// module: shadow poisoning, runtime checking, history caching, and the
+// counters the evaluation harness reads.
+//
+// The split mirrors the paper's architecture (Figure 4): the runtime support
+// library (allocators in internal/heap and internal/stack) drives the
+// Poisoner side, and instrumented code (internal/instrument + internal/interp)
+// drives the Checker side. GiantSan, ASan, ASan--, and LFP all implement
+// Sanitizer, so the whole evaluation harness is sanitizer-agnostic.
+package san
+
+import (
+	"giantsan/internal/report"
+	"giantsan/internal/vmem"
+)
+
+// PoisonKind says why a range of bytes is being made non-addressable.
+// Each sanitizer encoding maps kinds to its own shadow error codes.
+type PoisonKind int
+
+// Poison kinds.
+const (
+	// RedzoneLeft marks padding below a heap object.
+	RedzoneLeft PoisonKind = iota
+	// RedzoneRight marks padding above a heap object.
+	RedzoneRight
+	// HeapFreed marks a freed (quarantined) heap region.
+	HeapFreed
+	// StackRedzone marks padding around a stack object.
+	StackRedzone
+	// StackAfterReturn marks a popped stack frame.
+	StackAfterReturn
+	// GlobalRedzone marks padding around a global object.
+	GlobalRedzone
+)
+
+// Poisoner updates shadow metadata. The allocators call it on every
+// allocation and deallocation, which is exactly the paper's "runtime support
+// library hooks all objects' allocation and deallocation" phase.
+type Poisoner interface {
+	// MarkAllocated makes [base, base+size) addressable. This is where the
+	// encodings diverge: ASan zero-fills, GiantSan builds folded segments.
+	MarkAllocated(base vmem.Addr, size uint64)
+	// Poison makes [base, base+size) non-addressable for the given reason.
+	// base and size are segment-aligned by the allocators, except that a
+	// trailing sub-segment tail is owned by the object's partial segment.
+	Poison(base vmem.Addr, size uint64, kind PoisonKind)
+}
+
+// Checker performs runtime checks. All checks return nil for a safe access
+// and a *report.Error otherwise; they never halt (halt_on_error=false).
+type Checker interface {
+	// CheckAccess safeguards one instruction touching [p, p+w), w ≤ 8.
+	// This is instruction-level protection.
+	CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error
+	// CheckRange safeguards the region [l, r). This is the operation-level
+	// entry point (memset/memcpy guardians, promoted loop checks). Cost is
+	// the differentiator: O(1) for GiantSan, O((r−l)/8) for ASan.
+	CheckRange(l, r vmem.Addr, t report.AccessType) *report.Error
+	// CheckAnchored safeguards an access [p, p+w) relative to the anchor
+	// (usually the buffer base pointer, §4.4.1). Sanitizers without
+	// anchor support fall back to CheckAccess(p, w).
+	CheckAnchored(anchor, p vmem.Addr, w uint64, t report.AccessType) *report.Error
+}
+
+// Cache is a per-pointer history cache (the quasi-bound of §4.3).
+// Instrumented unbounded loops allocate one Cache per base pointer and call
+// CheckCached for every access. Sanitizers without history caching return a
+// pass-through implementation.
+type Cache interface {
+	// CheckCached safeguards [anchor+off, anchor+off+w). off may be
+	// negative (underflow side, never cached).
+	CheckCached(anchor vmem.Addr, off int64, w uint64, t report.AccessType) *report.Error
+	// Finish performs the loop-exit check (e.g. CI(y, y+ub) catching a
+	// deallocation that happened mid-loop) and resets the cache.
+	Finish(anchor vmem.Addr, t report.AccessType) *report.Error
+}
+
+// Sanitizer is a complete location-based (or, for LFP, bounds-based) memory
+// error detector.
+type Sanitizer interface {
+	Name() string
+	Poisoner
+	Checker
+	// NewCache returns a fresh history cache bound to this sanitizer.
+	NewCache() Cache
+	// Stats returns the live counters; the harness reads and resets them.
+	Stats() *Stats
+}
+
+// Stats counts the runtime work a sanitizer performed. The evaluation
+// harness uses these to reproduce Figure 10 and to cross-check the timing
+// results of Table 2 with hardware-independent numbers.
+type Stats struct {
+	// Checks is the number of runtime checks executed.
+	Checks uint64
+	// ShadowLoads is the number of shadow-memory (metadata) loads.
+	ShadowLoads uint64
+	// FastChecks counts GiantSan region checks satisfied by the fast path.
+	FastChecks uint64
+	// SlowChecks counts GiantSan region checks needing the slow path.
+	SlowChecks uint64
+	// CacheHits counts accesses satisfied by a quasi-bound without any
+	// metadata load.
+	CacheHits uint64
+	// CacheRefills counts quasi-bound reloads.
+	CacheRefills uint64
+	// RangeChecks counts operation-level region checks.
+	RangeChecks uint64
+	// Errors counts checks that reported a violation.
+	Errors uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.Checks += other.Checks
+	s.ShadowLoads += other.ShadowLoads
+	s.FastChecks += other.FastChecks
+	s.SlowChecks += other.SlowChecks
+	s.CacheHits += other.CacheHits
+	s.CacheRefills += other.CacheRefills
+	s.RangeChecks += other.RangeChecks
+	s.Errors += other.Errors
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// PassCache is the no-op history cache used by sanitizers without
+// quasi-bound support: every access degrades to a plain anchored check.
+type PassCache struct {
+	S Sanitizer
+}
+
+// CheckCached implements Cache by delegating to CheckAnchored.
+func (c PassCache) CheckCached(anchor vmem.Addr, off int64, w uint64, t report.AccessType) *report.Error {
+	p := anchor + vmem.Addr(off)
+	return c.S.CheckAnchored(anchor, p, w, t)
+}
+
+// Finish implements Cache; there is no cached state to verify.
+func (c PassCache) Finish(anchor vmem.Addr, t report.AccessType) *report.Error { return nil }

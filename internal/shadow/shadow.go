@@ -1,0 +1,90 @@
+// Package shadow implements the shadow memory substrate shared by every
+// location-based sanitizer in this module.
+//
+// The virtual space is partitioned into aligned 8-byte segments and each
+// segment owns one shadow byte, the classic 1:8 density used by ASan and
+// kept by GiantSan. The package is encoding-agnostic: it stores raw state
+// codes and leaves their interpretation to the sanitizer packages
+// (internal/asan, internal/core). That split mirrors the paper, where the
+// shadow mapping is shared infrastructure and only the encoding changes.
+package shadow
+
+import (
+	"fmt"
+
+	"giantsan/internal/vmem"
+)
+
+// SegShift is log2 of the segment size: segments are 8 bytes.
+const SegShift = 3
+
+// SegSize is the number of application bytes covered by one shadow byte.
+const SegSize = 1 << SegShift
+
+// Memory is the shadow array for one vmem.Space.
+//
+// Loads go through Load so that callers that care about metadata-loading
+// cost can count them; the hot sanitizer paths use Load exactly once per
+// conceptual "shadow memory read" in the paper's algorithms.
+type Memory struct {
+	base  vmem.Addr // base address of the covered space
+	units []uint8
+}
+
+// New returns zeroed shadow memory covering the whole space.
+func New(sp *vmem.Space) *Memory {
+	return &Memory{base: sp.Base(), units: make([]uint8, sp.Size()>>SegShift)}
+}
+
+// Base returns the base address of the covered space.
+func (m *Memory) Base() vmem.Addr { return m.base }
+
+// NumSegments returns the number of segments covered.
+func (m *Memory) NumSegments() int { return len(m.units) }
+
+// Index returns the segment index of address a.
+func (m *Memory) Index(a vmem.Addr) int {
+	i := int((a - m.base) >> SegShift)
+	if a < m.base || i >= len(m.units) {
+		panic(fmt.Sprintf("shadow: address %#x outside covered space", a))
+	}
+	return i
+}
+
+// Contains reports whether address a lies in the covered space.
+func (m *Memory) Contains(a vmem.Addr) bool {
+	return a >= m.base && (a-m.base)>>SegShift < vmem.Addr(len(m.units))
+}
+
+// Load returns the state code of the segment covering address a.
+func (m *Memory) Load(a vmem.Addr) uint8 { return m.units[m.Index(a)] }
+
+// LoadSeg returns the state code of segment index p.
+func (m *Memory) LoadSeg(p int) uint8 { return m.units[p] }
+
+// Store sets the state code of the segment covering address a.
+func (m *Memory) Store(a vmem.Addr, v uint8) { m.units[m.Index(a)] = v }
+
+// StoreSeg sets the state code of segment index p.
+func (m *Memory) StoreSeg(p int, v uint8) { m.units[p] = v }
+
+// Fill sets n consecutive segments starting at segment index p to v.
+func (m *Memory) Fill(p, n int, v uint8) {
+	region := m.units[p : p+n]
+	for i := range region {
+		region[i] = v
+	}
+}
+
+// Snapshot copies the state codes of n segments starting at segment p.
+// It exists for tests and the shadowviz tool.
+func (m *Memory) Snapshot(p, n int) []uint8 {
+	out := make([]uint8, n)
+	copy(out, m.units[p:p+n])
+	return out
+}
+
+// SegStart returns the first address of segment index p.
+func (m *Memory) SegStart(p int) vmem.Addr {
+	return m.base + vmem.Addr(p)<<SegShift
+}

@@ -1,0 +1,89 @@
+package shadow
+
+import (
+	"testing"
+
+	"giantsan/internal/vmem"
+)
+
+func TestGeometry(t *testing.T) {
+	sp := vmem.NewSpace(1 << 12)
+	m := New(sp)
+	if m.NumSegments() != 512 {
+		t.Errorf("NumSegments = %d, want 512", m.NumSegments())
+	}
+	if m.Base() != sp.Base() {
+		t.Errorf("Base = %#x, want %#x", m.Base(), sp.Base())
+	}
+}
+
+func TestIndexMapping(t *testing.T) {
+	sp := vmem.NewSpace(1 << 12)
+	m := New(sp)
+	for _, tt := range []struct {
+		off  uint64
+		want int
+	}{{0, 0}, {7, 0}, {8, 1}, {15, 1}, {4095, 511}} {
+		if got := m.Index(sp.Base() + tt.off); got != tt.want {
+			t.Errorf("Index(base+%d) = %d, want %d", tt.off, got, tt.want)
+		}
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	sp := vmem.NewSpace(64)
+	m := New(sp)
+	for _, a := range []vmem.Addr{sp.Base() - 1, sp.Limit()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%#x) did not panic", a)
+				}
+			}()
+			m.Index(a)
+		}()
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	sp := vmem.NewSpace(128)
+	m := New(sp)
+	a := sp.Base() + 24
+	m.Store(a, 0x42)
+	if got := m.Load(a); got != 0x42 {
+		t.Errorf("Load = %#x, want 0x42", got)
+	}
+	// All 8 addresses of the segment share the code.
+	for i := uint64(0); i < 8; i++ {
+		if m.Load(sp.Base()+24+i) != 0x42 {
+			t.Errorf("segment byte %d has different code", i)
+		}
+	}
+	if m.Load(sp.Base()+16) != 0 || m.Load(sp.Base()+32) != 0 {
+		t.Error("neighbouring segments were touched")
+	}
+}
+
+func TestFillAndSnapshot(t *testing.T) {
+	sp := vmem.NewSpace(128)
+	m := New(sp)
+	m.Fill(2, 5, 7)
+	snap := m.Snapshot(1, 8)
+	want := []uint8{0, 7, 7, 7, 7, 7, 0, 0}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("Snapshot[%d] = %d, want %d", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestSegStart(t *testing.T) {
+	sp := vmem.NewSpace(128)
+	m := New(sp)
+	if got := m.SegStart(3); got != sp.Base()+24 {
+		t.Errorf("SegStart(3) = %#x, want %#x", got, sp.Base()+24)
+	}
+	if m.Index(m.SegStart(15)) != 15 {
+		t.Error("SegStart and Index do not round-trip")
+	}
+}

@@ -1,0 +1,53 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignment(t *testing.T) {
+	tb := New("Name", "Value")
+	tb.Add("a", 1)
+	tb.Add("longer-name", 12345)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	// The value column starts at the same offset in every row.
+	idx := strings.Index(lines[0], "Value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("row 1 misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[3][idx:], "12345") {
+		t.Errorf("row 2 misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("separator missing")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("X")
+	tb.Add(3.14159)
+	if !strings.Contains(tb.String(), "3.14") || strings.Contains(tb.String(), "3.14159") {
+		t.Errorf("float not formatted to 2 places:\n%s", tb.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("A", "B")
+	out := tb.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("header missing")
+	}
+}
+
+func TestWideCellGrowsColumn(t *testing.T) {
+	tb := New("H")
+	tb.Add("xxxxxxxxxxxxxxxxxxxxxx")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines[1]) < 22 {
+		t.Errorf("separator did not grow: %q", lines[1])
+	}
+}

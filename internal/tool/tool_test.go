@@ -1,0 +1,103 @@
+package tool
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+)
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{GiantSan: "giantsan", ASan: "asan", ASanMinus: "asan--", LFP: "lfp"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), name)
+		}
+		tl := New(Config{Kind: k})
+		if tl.Name() != name {
+			t.Errorf("tool name = %q", tl.Name())
+		}
+	}
+}
+
+func TestAccessSemanticsPerTool(t *testing.T) {
+	// Anchored tools catch a redzone bypass; plain tools do not.
+	bypass := func(k Kind) bool {
+		tl := New(Config{Kind: k})
+		base := tl.Malloc(64)
+		tl.Malloc(4096)
+		tl.Access(base, 256, 8, report.Write)
+		return tl.Detected()
+	}
+	if !bypass(GiantSan) {
+		t.Error("giantsan should catch the bypass (anchored)")
+	}
+	if bypass(ASan) || bypass(ASanMinus) {
+		t.Error("asan tools should miss the bypass (unanchored)")
+	}
+	if !bypass(LFP) {
+		t.Error("lfp should catch the bypass (slot bounds)")
+	}
+}
+
+func TestWriteActuallyWrites(t *testing.T) {
+	tl := New(Config{Kind: GiantSan})
+	p := tl.Malloc(64)
+	tl.Access(p, 0, 8, report.Write)
+	if v := tl.RT.Space().Load(p, 8); v == 0 {
+		t.Error("Access(Write) did not store")
+	}
+}
+
+func TestRangeChecksAndFills(t *testing.T) {
+	tl := New(Config{Kind: GiantSan})
+	p := tl.Malloc(128)
+	tl.Range(p, 0, 128, report.Write)
+	if tl.Detected() {
+		t.Fatal("clean range flagged")
+	}
+	if v := tl.RT.Space().Load8(p + 64); v != 0x5a {
+		t.Error("Range(Write) did not fill")
+	}
+	tl.Range(p, 0, 129, report.Write)
+	if !tl.Detected() {
+		t.Error("overflowing range missed")
+	}
+}
+
+func TestResetClearsLog(t *testing.T) {
+	tl := New(Config{Kind: ASan})
+	p := tl.Malloc(8)
+	tl.Access(p, 8, 1, report.Read)
+	if !tl.Detected() {
+		t.Fatal("no detection to reset")
+	}
+	tl.Reset()
+	if tl.Detected() {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMallocPanicsOnOOM(t *testing.T) {
+	tl := New(Config{Kind: GiantSan, HeapBytes: 1 << 16})
+	defer func() {
+		if recover() == nil {
+			t.Error("OOM did not panic")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		tl.Malloc(4096)
+	}
+}
+
+func TestStackRoundTrip(t *testing.T) {
+	for _, k := range []Kind{GiantSan, ASan, ASanMinus, LFP} {
+		tl := New(Config{Kind: k})
+		tl.PushFrame()
+		p := tl.Alloca(32)
+		tl.Access(p, 0, 8, report.Write)
+		tl.PopFrame()
+		if tl.Detected() {
+			t.Errorf("%v: clean stack use flagged", k)
+		}
+	}
+}

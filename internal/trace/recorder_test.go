@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"giantsan/internal/instrument"
+	"giantsan/internal/interp"
+	"giantsan/internal/ir"
+	"giantsan/internal/rt"
+)
+
+// TestRecordWorkloadReplayEverywhere records an instrumented program run
+// through the Recorder decorator and replays the trace under another
+// sanitizer: layouts and verdicts must carry over.
+func TestRecordWorkloadReplayEverywhere(t *testing.T) {
+	prog := &ir.Prog{Name: "rec", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(256)},
+		&ir.Loop{Var: "i", N: ir.Const(32), Bounded: false, Body: []ir.Stmt{
+			&ir.Store{Base: "a", Idx: ir.Var("i"), Scale: 8, Size: 8, Val: ir.Var("i")},
+		}},
+		&ir.Memset{Base: "a", Val: ir.Const(0), Len: ir.Const(256)},
+		&ir.Free{Ptr: "a"},
+	}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	inner := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 1 << 20})
+	rec := NewRecorder(inner, w)
+	ex, err := interp.Prepare(prog, instrument.GiantSanProfile, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ex.Run()
+	if res.Errors.Total() != 0 {
+		t.Fatalf("clean program reported: %v", res.Errors.Errors[0])
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay under ASan: still clean.
+	env := rt.New(rt.Config{Kind: rt.ASan, HeapBytes: 1 << 20})
+	rr, err := Replay(bytes.NewReader(buf.Bytes()), env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Errors.Total() != 0 {
+		t.Errorf("replay reported %d errors: %v", rr.Errors.Total(), rr.Errors.Errors[0])
+	}
+	if rr.Events < 5 {
+		t.Errorf("suspiciously few events: %d", rr.Events)
+	}
+}
+
+// TestRecordedBugReplaysAsBug: a buggy run's trace must reproduce the
+// detection under a different sanitizer.
+func TestRecordedBugReplaysAsBug(t *testing.T) {
+	prog := &ir.Prog{Name: "rec-bug", Body: []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.Const(64)},
+		&ir.Store{Base: "a", Off: 64, Size: 4, Val: ir.Const(1)},
+	}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	inner := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 1 << 20})
+	rec := NewRecorder(inner, w)
+	ex, err := interp.Prepare(prog, instrument.GiantSanProfile, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ex.Run()
+	if res.Errors.Total() != 1 {
+		t.Fatalf("recording run: %d errors", res.Errors.Total())
+	}
+	w.Flush()
+
+	env := rt.New(rt.Config{Kind: rt.ASan, HeapBytes: 1 << 20})
+	rr, err := Replay(bytes.NewReader(buf.Bytes()), env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Errors.Total() != 1 {
+		t.Errorf("replay: %d errors, want the recorded overflow", rr.Errors.Total())
+	}
+}
+
+// TestRecorderRegResolution: interior pointers resolve to the nearest
+// allocation below, so cached/derived accesses record with the right
+// register and offset.
+func TestRecorderRegResolution(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	inner := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 1 << 20})
+	rec := NewRecorder(inner, w)
+	a, _ := rec.Malloc(128)
+	b, _ := rec.Malloc(128)
+	rec.San().CheckAccess(a+16, 8, 0)
+	rec.San().CheckAccess(b+24, 8, 0)
+	w.Flush()
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	var evs []Event
+	for {
+		ev, err := r.Next()
+		if err != nil {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[2].Reg != 0 || evs[2].Off != 16 {
+		t.Errorf("first access = reg %d off %d", evs[2].Reg, evs[2].Off)
+	}
+	if evs[3].Reg != 1 || evs[3].Off != 24 {
+		t.Errorf("second access = reg %d off %d", evs[3].Reg, evs[3].Off)
+	}
+}

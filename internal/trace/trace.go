@@ -1,0 +1,296 @@
+// Package trace records and replays memory-operation traces.
+//
+// A trace is the portable form of a sanitizer test case: the sequence of
+// allocations, frees and accesses a program performed, without the program.
+// Traces let one workload execution be replayed under every sanitizer (or
+// under a future encoding) with byte-identical layouts, and serve as the
+// regression corpus format for the detection suites.
+//
+// The encoding is a dense little-endian binary stream: one opcode byte
+// followed by fixed-width operands. Pointers are virtual register indices
+// (the recorder assigns them), so traces are position-independent: the
+// replayer re-allocates and patches addresses.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// Op is a trace opcode.
+type Op uint8
+
+// Trace opcodes.
+const (
+	// OpMalloc: u32 reg, u64 size.
+	OpMalloc Op = iota + 1
+	// OpFree: u32 reg.
+	OpFree
+	// OpAccess: u32 reg, i64 off, u8 width, u8 accessType (0 read, 1 write).
+	OpAccess
+	// OpRange: u32 reg, i64 off, u64 len, u8 accessType.
+	OpRange
+	// OpPush / OpPop: stack frames.
+	OpPush
+	OpPop
+	// OpAlloca: u32 reg, u64 size.
+	OpAlloca
+)
+
+// magic identifies trace streams (and their version).
+var magic = [4]byte{'G', 'S', 'T', '1'}
+
+// Event is one decoded trace record.
+type Event struct {
+	Op    Op
+	Reg   uint32
+	Off   int64
+	Size  uint64
+	Width uint8
+	Write bool
+}
+
+// Writer serializes events.
+type Writer struct {
+	w       *bufio.Writer
+	nextReg uint32
+	started bool
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) header() error {
+	if tw.started {
+		return nil
+	}
+	tw.started = true
+	_, err := tw.w.Write(magic[:])
+	return err
+}
+
+// NewReg allocates the next pointer register.
+func (tw *Writer) NewReg() uint32 {
+	r := tw.nextReg
+	tw.nextReg++
+	return r
+}
+
+func (tw *Writer) emit(op Op, fields ...any) error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	if err := tw.w.WriteByte(byte(op)); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		if err := binary.Write(tw.w, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Malloc records an allocation into a fresh register and returns it.
+func (tw *Writer) Malloc(size uint64) (uint32, error) {
+	reg := tw.NewReg()
+	return reg, tw.emit(OpMalloc, reg, size)
+}
+
+// Alloca records a stack allocation into a fresh register.
+func (tw *Writer) Alloca(size uint64) (uint32, error) {
+	reg := tw.NewReg()
+	return reg, tw.emit(OpAlloca, reg, size)
+}
+
+// Free records a free of reg.
+func (tw *Writer) Free(reg uint32) error { return tw.emit(OpFree, reg) }
+
+// Access records a width-byte access at reg+off.
+func (tw *Writer) Access(reg uint32, off int64, width uint8, write bool) error {
+	return tw.emit(OpAccess, reg, off, width, b2u(write))
+}
+
+// Range records a bulk operation over [reg+off, reg+off+n).
+func (tw *Writer) Range(reg uint32, off int64, n uint64, write bool) error {
+	return tw.emit(OpRange, reg, off, n, b2u(write))
+}
+
+// Push records a frame push.
+func (tw *Writer) Push() error { return tw.emit(OpPush) }
+
+// Pop records a frame pop.
+func (tw *Writer) Pop() error { return tw.emit(OpPop) }
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ErrBadMagic marks a stream that is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Reader decodes events.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next decodes one event; io.EOF ends the stream.
+func (tr *Reader) Next() (Event, error) {
+	if !tr.started {
+		var m [4]byte
+		if _, err := io.ReadFull(tr.r, m[:]); err != nil {
+			return Event{}, err
+		}
+		if m != magic {
+			return Event{}, ErrBadMagic
+		}
+		tr.started = true
+	}
+	opb, err := tr.r.ReadByte()
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{Op: Op(opb)}
+	read := func(fields ...any) error {
+		for _, f := range fields {
+			if err := binary.Read(tr.r, binary.LittleEndian, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var w uint8
+	switch ev.Op {
+	case OpMalloc, OpAlloca:
+		err = read(&ev.Reg, &ev.Size)
+	case OpFree:
+		err = read(&ev.Reg)
+	case OpAccess:
+		err = read(&ev.Reg, &ev.Off, &ev.Width, &w)
+		ev.Write = w == 1
+	case OpRange:
+		err = read(&ev.Reg, &ev.Off, &ev.Size, &w)
+		ev.Write = w == 1
+	case OpPush, OpPop:
+	default:
+		return Event{}, fmt.Errorf("trace: unknown opcode %d", opb)
+	}
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// ReplayResult summarizes one replay.
+type ReplayResult struct {
+	Events int
+	Errors report.Log
+}
+
+// Replay runs a trace against a runtime: allocations fill the register
+// file, accesses are checked with the anchored discipline when anchored
+// is true (GiantSan, LFP) and bare otherwise (ASan). Trace-level problems
+// (unknown register, failed malloc) are returned as an error; memory
+// violations land in the result log.
+func Replay(r io.Reader, run rt.Runtime, anchored bool) (*ReplayResult, error) {
+	tr := NewReader(r)
+	regs := map[uint32]vmem.Addr{}
+	res := &ReplayResult{}
+	frames := 0
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Events++
+		switch ev.Op {
+		case OpMalloc:
+			p, err := run.Malloc(ev.Size)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+			}
+			regs[ev.Reg] = p
+		case OpAlloca:
+			if frames == 0 {
+				return nil, fmt.Errorf("trace: event %d: alloca outside frame", res.Events)
+			}
+			regs[ev.Reg] = run.Alloca(ev.Size)
+		case OpFree:
+			p, ok := regs[ev.Reg]
+			if !ok {
+				return nil, fmt.Errorf("trace: event %d: free of unset reg %d", res.Events, ev.Reg)
+			}
+			res.Errors.Record(run.Free(p))
+		case OpAccess:
+			base, ok := regs[ev.Reg]
+			if !ok {
+				return nil, fmt.Errorf("trace: event %d: access through unset reg %d", res.Events, ev.Reg)
+			}
+			at := report.Read
+			if ev.Write {
+				at = report.Write
+			}
+			p := base + vmem.Addr(ev.Off)
+			var cerr *report.Error
+			if anchored {
+				cerr = run.San().CheckAnchored(base, p, uint64(ev.Width), at)
+			} else {
+				cerr = run.San().CheckAccess(p, uint64(ev.Width), at)
+			}
+			res.Errors.Record(cerr)
+		case OpRange:
+			base, ok := regs[ev.Reg]
+			if !ok {
+				return nil, fmt.Errorf("trace: event %d: range through unset reg %d", res.Events, ev.Reg)
+			}
+			at := report.Read
+			if ev.Write {
+				at = report.Write
+			}
+			l := base + vmem.Addr(ev.Off)
+			res.Errors.Record(run.San().CheckRange(l, l+vmem.Addr(ev.Size), at))
+		case OpPush:
+			run.PushFrame()
+			frames++
+		case OpPop:
+			if frames == 0 {
+				return nil, fmt.Errorf("trace: event %d: pop without push", res.Events)
+			}
+			run.PopFrame()
+			frames--
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,416 @@
+package workload
+
+import "giantsan/internal/ir"
+
+// perlbench models the Perl interpreter: an unbounded byte-code dispatch
+// loop scanning the program buffer forward, string-buffer writes, and
+// hash-table probes with data-dependent indices. Dominated by cached
+// (quasi-bound) accesses — SCEV cannot bound an interpreter's dispatch.
+func perlbench(name string, programs, bufKB int) *ir.Prog {
+	codeLen := int64(bufKB * 1024)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "code", Size: c(codeLen)},
+		&ir.Malloc{Dst: "sbuf", Size: c(codeLen)},
+		&ir.Malloc{Dst: "hash", Size: c(codeLen)},
+		&ir.Memset{Base: "code", Val: c(0x2b), Len: c(codeLen)},
+		&ir.Loop{Var: "prog", N: c(int64(programs)), Bounded: false, Body: []ir.Stmt{
+			// Dispatch: forward scan over the byte code; each opcode runs
+			// its handler function (an intra-procedural boundary, so the
+			// handler's store is checked directly).
+			&ir.Loop{Var: "pc", N: c(codeLen), Bounded: false, Body: []ir.Stmt{
+				&ir.Load{Dst: "op", Base: "code", Idx: v("pc"), Scale: 1, Size: 1},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Store{Base: "sbuf", Idx: v("pc"), Scale: 1, Size: 1,
+						Val: add(v("op"), v("prog"))},
+				}},
+			}},
+			// Reverse scan: Perl's rare backwards buffer walks (the paper
+			// measures 0.39% of SPEC traversals reverse; §5.4).
+			&ir.Loop{Var: "rp", N: c(512), Bounded: false, Reverse: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "rv", Base: "sbuf", Idx: v("rp"), Scale: 1, Size: 1},
+			}},
+			// Symbol-table probes: data-dependent subscripts through the
+			// hash-lookup helper.
+			&ir.Loop{Var: "k", N: c(256), Bounded: false, Body: []ir.Stmt{
+				&ir.Decl{Name: "h", Init: rnd(c(codeLen / 8))},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Load{Dst: "hv", Base: "hash", Idx: v("h"), Scale: 8, Size: 8},
+					&ir.Store{Base: "hash", Idx: v("h"), Scale: 8, Size: 8,
+						Val: xor(v("hv"), v("k"))},
+				}},
+			}},
+		}},
+	}}
+}
+
+// gcc models the compiler: heavy small-object churn (AST nodes), grouped
+// constant-offset field initialization, and pointer-chasing walks whose
+// base is reloaded each step (no caching possible).
+func gcc(name string, units, nodes int) *ir.Prog {
+	n := int64(nodes)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "tab", Size: c(n * 8)},
+		&ir.Loop{Var: "u", N: c(int64(units)), Bounded: false, Body: []ir.Stmt{
+			// Build a pass's worth of nodes.
+			&ir.Loop{Var: "i", N: c(n), Bounded: true, Body: []ir.Stmt{
+				&ir.Malloc{Dst: "node", Size: add(c(32), mul(mod(v("i"), c(4)), c(8)))},
+				// Field initialization: constant offsets, must-alias group.
+				&ir.Store{Base: "node", Off: 0, Size: 8, Val: v("i")},
+				&ir.Store{Base: "node", Off: 8, Size: 8, Val: v("u")},
+				&ir.Store{Base: "node", Off: 16, Size: 8, Val: c(0)},
+				&ir.Store{Base: "tab", Idx: v("i"), Scale: 8, Size: 8, Val: v("node")},
+			}},
+			// Tree walk: reload a node pointer, touch its fields; each
+			// visit runs in its own frame with a scratch local (the
+			// recursive-visitor idiom).
+			&ir.Loop{Var: "w", N: c(n * 8), Bounded: false, Body: []ir.Stmt{
+				&ir.Decl{Name: "ix", Init: rnd(c(n))},
+				&ir.Load{Dst: "p", Base: "tab", Idx: v("ix"), Scale: 8, Size: 8},
+				&ir.Frame{Body: []ir.Stmt{
+					&ir.Alloca{Dst: "tmp", Size: c(16)},
+					&ir.Load{Dst: "a", Base: "p", Off: 0, Size: 8},
+					&ir.Load{Dst: "b", Base: "p", Off: 8, Size: 8},
+					&ir.Store{Base: "tmp", Off: 0, Size: 8, Val: add(v("a"), v("b"))},
+					&ir.Load{Dst: "s", Base: "tmp", Off: 0, Size: 8},
+					&ir.Store{Base: "p", Off: 16, Size: 8, Val: v("s")},
+				}},
+			}},
+			// Free this pass's nodes (the allocator churn gcc is known for).
+			&ir.Loop{Var: "i", N: c(n), Bounded: false, Body: []ir.Stmt{
+				&ir.Load{Dst: "dead", Base: "tab", Idx: v("i"), Scale: 8, Size: 8},
+				&ir.Free{Ptr: "dead"},
+			}},
+		}},
+	}}
+}
+
+// mcf models the network simplex: one big arc array traversed by bounded
+// loops with several constant-stride field accesses per arc. Nearly every
+// check promotes to the loop preheader — the paper reports >80% of mcf's
+// checks optimized away.
+func mcf(name string, sweeps, _ int) *ir.Prog {
+	arcN := int64(2048)
+	stride := int64(40)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "arcs", Size: c(arcN * stride)},
+		&ir.Memset{Base: "arcs", Val: c(0x11), Len: c(arcN * stride)},
+		&ir.Decl{Name: "best", Init: c(0)},
+		&ir.Loop{Var: "t", N: c(int64(sweeps)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "i", N: c(arcN), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "cost", Base: "arcs", Idx: v("i"), Scale: stride, Off: 0, Size: 8},
+				&ir.Load{Dst: "flow", Base: "arcs", Idx: v("i"), Scale: stride, Off: 8, Size: 8},
+				&ir.Load{Dst: "cap", Base: "arcs", Idx: v("i"), Scale: stride, Off: 24, Size: 8},
+				&ir.Store{Base: "arcs", Idx: v("i"), Scale: stride, Off: 24, Size: 8,
+					Val: add(add(v("flow"), v("i")), sub(v("cap"), v("cost")))},
+				&ir.Assign{Name: "best", Val: xor(v("best"), v("flow"))},
+			}},
+		}},
+	}}
+}
+
+// namd models molecular dynamics force loops: dense numeric arrays swept
+// by bounded loops — promotion eliminates nearly everything.
+func namd(name string, steps, atoms1k int) *ir.Prog {
+	atoms := int64(atoms1k) * 16
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "pos", Size: c(atoms * 8)},
+		&ir.Malloc{Dst: "force", Size: c(atoms * 8)},
+		&ir.Memset{Base: "pos", Val: c(3), Len: c(atoms * 8)},
+		&ir.Loop{Var: "t", N: c(int64(steps)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "i", N: c(atoms), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "x", Base: "pos", Idx: v("i"), Scale: 8, Size: 8},
+				&ir.Load{Dst: "f", Base: "force", Idx: v("i"), Scale: 8, Size: 8},
+				&ir.Store{Base: "force", Idx: v("i"), Scale: 8, Size: 8,
+					Val: add(v("f"), mul(v("x"), c(3)))},
+				&ir.Store{Base: "pos", Idx: v("i"), Scale: 8, Size: 8,
+					Val: add(v("x"), v("f"))},
+			}},
+		}},
+	}}
+}
+
+// parest models sparse finite-element assembly: CSR matrix-vector products
+// where row pointers and values promote but the gather through the column
+// index is data-dependent (cached).
+func parest(name string, products, rows1 int) *ir.Prog {
+	rows := int64(rows1)
+	nnz := int64(8) // entries per row
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "val", Size: c(rows * nnz * 8)},
+		&ir.Malloc{Dst: "col", Size: c(rows * nnz * 8)},
+		&ir.Malloc{Dst: "x", Size: c(rows * 8)},
+		&ir.Malloc{Dst: "y", Size: c(rows * 8)},
+		// Column indices: pseudo-random but in range.
+		&ir.Loop{Var: "k", N: c(rows * nnz), Bounded: true, Body: []ir.Stmt{
+			&ir.Store{Base: "col", Idx: v("k"), Scale: 8, Size: 8, Val: rnd(c(rows))},
+		}},
+		&ir.Loop{Var: "p", N: c(int64(products)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "r", N: c(rows), Bounded: true, Body: []ir.Stmt{
+				&ir.Decl{Name: "acc", Init: c(0)},
+				// Row pointers: SCEV sees the affine walk over the row.
+				&ir.Decl{Name: "vrow", Init: add(v("val"), mul(v("r"), c(nnz*8)))},
+				&ir.Decl{Name: "crow", Init: add(v("col"), mul(v("r"), c(nnz*8)))},
+				&ir.Loop{Var: "e", N: c(nnz), Bounded: true, Body: []ir.Stmt{
+					&ir.Load{Dst: "a", Base: "vrow", Idx: v("e"), Scale: 8, Size: 8},
+					&ir.Load{Dst: "ci", Base: "crow", Idx: v("e"), Scale: 8, Size: 8},
+					&ir.Load{Dst: "xv", Base: "x", Idx: v("ci"), Scale: 8, Size: 8},
+					&ir.Assign{Name: "acc", Val: add(v("acc"), mul(v("a"), v("xv")))},
+				}},
+				&ir.Store{Base: "y", Idx: v("r"), Scale: 8, Size: 8, Val: v("acc")},
+			}},
+		}},
+	}}
+}
+
+// povray models the ray tracer: random scene-object hits with short
+// field-access bursts, plus a bounded shading loop per pixel block.
+func povray(name string, frames, objs int) *ir.Prog {
+	n := int64(objs)
+	objBytes := int64(64)
+	pix := int64(512)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "scene", Size: c(n * objBytes)},
+		&ir.Malloc{Dst: "fb", Size: c(pix * 8)},
+		&ir.Memset{Base: "scene", Val: c(9), Len: c(n * objBytes)},
+		&ir.Loop{Var: "f", N: c(int64(frames)), Bounded: false, Body: []ir.Stmt{
+			// Ray-object intersections: each hit calls the intersect()
+			// helper — a real function frame with a stack temporary, whose
+			// accesses the intra-procedural analysis checks directly.
+			&ir.Loop{Var: "ray", N: c(128), Bounded: false, Body: []ir.Stmt{
+				&ir.Decl{Name: "o", Init: rnd(c(n))},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Frame{Body: []ir.Stmt{
+						&ir.Alloca{Dst: "hit", Size: c(32)},
+						&ir.Load{Dst: "ox", Base: "scene", Idx: v("o"), Scale: objBytes, Off: 0, Size: 8},
+						&ir.Load{Dst: "oy", Base: "scene", Idx: v("o"), Scale: objBytes, Off: 8, Size: 8},
+						&ir.Load{Dst: "oz", Base: "scene", Idx: v("o"), Scale: objBytes, Off: 16, Size: 8},
+						&ir.Store{Base: "hit", Off: 0, Size: 8, Val: add(v("ox"), add(v("oy"), v("oz")))},
+						&ir.Load{Dst: "hv", Base: "hit", Off: 0, Size: 8},
+						&ir.Store{Base: "scene", Idx: v("o"), Scale: objBytes, Off: 24, Size: 8, Val: v("hv")},
+					}},
+				}},
+			}},
+			// Shading: bounded per-pixel loop (promoted).
+			&ir.Loop{Var: "px", N: c(pix), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "c0", Base: "fb", Idx: v("px"), Scale: 8, Size: 8},
+				&ir.Store{Base: "fb", Idx: v("px"), Scale: 8, Size: 8, Val: add(v("c0"), v("f"))},
+			}},
+		}},
+	}}
+}
+
+// lbm models the lattice-Boltzmann stencil: wide bounded sweeps with
+// several constant-stride neighbour accesses — the extreme promotion case
+// (>80% optimized in Figure 10).
+func lbm(name string, cells, sweeps int) *ir.Prog {
+	n := int64(cells)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "src", Size: c((n + 2) * 8)},
+		&ir.Malloc{Dst: "dst", Size: c((n + 2) * 8)},
+		&ir.Memset{Base: "src", Val: c(5), Len: c((n + 2) * 8)},
+		&ir.Loop{Var: "t", N: c(int64(sweeps)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "i", N: c(n), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "w", Base: "src", Idx: v("i"), Scale: 8, Off: 0, Size: 8},
+				&ir.Load{Dst: "cc", Base: "src", Idx: v("i"), Scale: 8, Off: 8, Size: 8},
+				&ir.Load{Dst: "e", Base: "src", Idx: v("i"), Scale: 8, Off: 16, Size: 8},
+				&ir.Store{Base: "dst", Idx: v("i"), Scale: 8, Off: 8, Size: 8,
+					Val: add(v("w"), add(v("cc"), v("e")))},
+			}},
+			&ir.Memcpy{Dst: "src", Src: "dst", Len: c((n + 2) * 8)},
+		}},
+	}}
+}
+
+// omnetpp models discrete-event simulation: allocation/deallocation churn
+// of event objects and random priority-queue slots. Frees inside the hot
+// loop block promotion; caching still applies to the stable queue base.
+func omnetpp(name string, waves, events int) *ir.Prog {
+	q := int64(events)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "queue", Size: c(q * 8)},
+		&ir.Malloc{Dst: "stats", Size: c(q * 8)},
+		&ir.Loop{Var: "w", N: c(int64(waves)), Bounded: false, Body: []ir.Stmt{
+			// Schedule a burst of events; the event constructor is a
+			// separate function.
+			&ir.Loop{Var: "i", N: c(q), Bounded: false, Body: []ir.Stmt{
+				&ir.Malloc{Dst: "ev", Size: c(48)},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Store{Base: "ev", Off: 0, Size: 8, Val: v("i")},
+					&ir.Store{Base: "ev", Off: 8, Size: 8, Val: v("w")},
+				}},
+				&ir.Store{Base: "queue", Idx: v("i"), Scale: 8, Size: 8, Val: v("ev")},
+			}},
+			// Process in pseudo-priority order: random pops, field reads,
+			// frees in the loop.
+			&ir.Loop{Var: "i", N: c(q), Bounded: false, Body: []ir.Stmt{
+				&ir.Load{Dst: "cur", Base: "queue", Idx: v("i"), Scale: 8, Size: 8},
+				&ir.Load{Dst: "ts", Base: "cur", Off: 0, Size: 8},
+				&ir.Store{Base: "stats", Idx: rnd(c(q)), Scale: 8, Size: 8, Val: v("ts")},
+				&ir.Free{Ptr: "cur"},
+			}},
+		}},
+	}}
+}
+
+// xalancbmk models XSLT processing: unbounded string scans (cached),
+// buffer-to-buffer memcpy bursts, and node-pointer dereferences.
+func xalancbmk(name string, docs, strKB int) *ir.Prog {
+	sl := int64(strKB) * 1024
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "text", Size: c(sl)},
+		&ir.Malloc{Dst: "out", Size: c(sl)},
+		&ir.Memset{Base: "text", Val: c(0x3c), Len: c(sl)},
+		&ir.Loop{Var: "d", N: c(int64(docs)), Bounded: false, Body: []ir.Stmt{
+			// Tokenize: unbounded forward byte scan; each token is pushed
+			// through the (virtual) character handler.
+			&ir.Loop{Var: "i", N: c(sl), Bounded: false, Body: []ir.Stmt{
+				&ir.Load{Dst: "ch", Base: "text", Idx: v("i"), Scale: 1, Size: 1},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Store{Base: "out", Idx: v("i"), Scale: 1, Size: 1, Val: xor(v("ch"), c(0x20))},
+				}},
+			}},
+			// Serialization: chunked memcpy.
+			&ir.Loop{Var: "k", N: c(sl / 1024), Bounded: false, Body: []ir.Stmt{
+				&ir.Memcpy{Dst: "out", Src: "text",
+					DOff: mul(v("k"), c(1024)), SOff: mul(v("k"), c(1024)), Len: c(1024)},
+			}},
+		}},
+	}}
+}
+
+// deepsjeng models chess search: a fixed board array with data-dependent
+// square accesses, a transposition table with hashed probes, and short
+// bounded move-generation loops.
+func deepsjeng(name string, nodes, _ int) *ir.Prog {
+	tt := int64(4096)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "board", Size: c(64 * 8)},
+		&ir.Malloc{Dst: "ttab", Size: c(tt * 8)},
+		&ir.Memset{Base: "board", Val: c(1), Len: c(64 * 8)},
+		&ir.Loop{Var: "nd", N: c(int64(nodes)), Bounded: false, Body: []ir.Stmt{
+			// Transposition probe.
+			&ir.Decl{Name: "h", Init: rnd(c(tt))},
+			&ir.Load{Dst: "entry", Base: "ttab", Idx: v("h"), Scale: 8, Size: 8},
+			// Move generation: bounded sweep over the board, with the
+			// per-square evaluation in a helper (checked directly).
+			&ir.Loop{Var: "sq", N: c(64), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "pc", Base: "board", Idx: v("sq"), Scale: 8, Size: 8},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Store{Base: "board", Idx: v("sq"), Scale: 8, Size: 8,
+						Val: xor(v("pc"), v("entry"))},
+				}},
+			}},
+			// Make/unmake: two random-square updates.
+			&ir.Store{Base: "board", Idx: rnd(c(64)), Scale: 8, Size: 8, Val: v("nd")},
+			&ir.Store{Base: "ttab", Idx: v("h"), Scale: 8, Size: 8, Val: v("nd")},
+		}},
+	}}
+}
+
+// imagick models image transforms: row-bounded pixel loops plus heavy
+// memset/memcpy use through the intrinsic interceptors.
+func imagick(name string, ops, rowPix int) *ir.Prog {
+	row := int64(rowPix) * 8
+	rows := int64(64)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "img", Size: c(rows * row)},
+		&ir.Malloc{Dst: "tmp", Size: c(row)},
+		&ir.Loop{Var: "op", N: c(int64(ops)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "r", N: c(rows), Bounded: false, Body: []ir.Stmt{
+				// Blur one row into tmp then write it back.
+				&ir.Memcpy{Dst: "tmp", Src: "img", SOff: mul(v("r"), c(row)), Len: c(row)},
+				&ir.Loop{Var: "x", N: c(int64(rowPix) - 2), Bounded: true, Body: []ir.Stmt{
+					&ir.Load{Dst: "p0", Base: "tmp", Idx: v("x"), Scale: 8, Off: 0, Size: 8},
+					&ir.Load{Dst: "p1", Base: "tmp", Idx: v("x"), Scale: 8, Off: 8, Size: 8},
+					&ir.Store{Base: "tmp", Idx: v("x"), Scale: 8, Off: 8, Size: 8,
+						Val: add(v("p0"), v("p1"))},
+				}},
+				&ir.Memcpy{Dst: "img", Src: "tmp", DOff: mul(v("r"), c(row)), Len: c(row)},
+			}},
+			&ir.Memset{Base: "tmp", Val: c(0), Len: c(row)},
+		}},
+	}}
+}
+
+// leela models Monte-Carlo tree search in Go: node allocations per
+// playout, random board mutations, and a bounded scoring sweep.
+func leela(name string, playouts, moves int) *ir.Prog {
+	board := int64(361)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "board", Size: c(board * 8)},
+		&ir.Loop{Var: "p", N: c(int64(playouts)), Bounded: false, Body: []ir.Stmt{
+			&ir.Malloc{Dst: "node", Size: c(96)},
+			&ir.Store{Base: "node", Off: 0, Size: 8, Val: v("p")},
+			&ir.Store{Base: "node", Off: 8, Size: 8, Val: c(0)},
+			// Random playout moves through play_move().
+			&ir.Loop{Var: "m", N: c(int64(moves)), Bounded: false, Body: []ir.Stmt{
+				&ir.Decl{Name: "sq", Init: rnd(c(board))},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Load{Dst: "st", Base: "board", Idx: v("sq"), Scale: 8, Size: 8},
+					&ir.Store{Base: "board", Idx: v("sq"), Scale: 8, Size: 8, Val: add(v("st"), c(1))},
+				}},
+			}},
+			// Scoring: bounded sweep.
+			&ir.Loop{Var: "sq", N: c(board), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "st", Base: "board", Idx: v("sq"), Scale: 8, Size: 8},
+				&ir.Store{Base: "node", Off: 16, Size: 8, Val: v("st")},
+			}},
+			&ir.Free{Ptr: "node"},
+		}},
+	}}
+}
+
+// xz models LZMA compression: hash-chain probes (random), match copies of
+// data-dependent length (cached unbounded loops), and window updates.
+func xz(name string, blocks, winKB int) *ir.Prog {
+	win := int64(winKB) * 1024
+	hsize := int64(4096)
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "window", Size: c(win)},
+		&ir.Malloc{Dst: "outb", Size: c(win)},
+		&ir.Malloc{Dst: "hash", Size: c(hsize * 8)},
+		&ir.Memset{Base: "window", Val: c(0x41), Len: c(win)},
+		&ir.Loop{Var: "b", N: c(int64(blocks)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "pos", N: c(256), Bounded: false, Body: []ir.Stmt{
+				// Hash probe through the match-finder helper.
+				&ir.Decl{Name: "h", Init: rnd(c(hsize))},
+				&ir.Call{Body: []ir.Stmt{
+					&ir.Load{Dst: "cand", Base: "hash", Idx: v("h"), Scale: 8, Size: 8},
+					&ir.Store{Base: "hash", Idx: v("h"), Scale: 8, Size: 8, Val: v("pos")},
+				}},
+				// Match copy: data-dependent length, unbounded loop.
+				&ir.Decl{Name: "mlen", Init: add(rnd(c(60)), c(4))},
+				&ir.Decl{Name: "moff", Init: rnd(c(win - 128))},
+				&ir.Loop{Var: "k", N: v("mlen"), Bounded: false, Body: []ir.Stmt{
+					&ir.Load{Dst: "byte", Base: "window", Idx: add(v("moff"), v("k")), Scale: 1, Size: 1},
+					&ir.Store{Base: "outb", Idx: add(v("moff"), v("k")), Scale: 1, Size: 1,
+						Val: xor(v("byte"), v("cand"))},
+				}},
+			}},
+		}},
+	}}
+}
+
+// nab models nucleic-acid dynamics: namd-like bounded force sweeps plus a
+// pairwise interaction loop with a gather.
+func nab(name string, steps, atoms1 int) *ir.Prog {
+	atoms := int64(atoms1) * 8
+	return &ir.Prog{Name: name, Body: []ir.Stmt{
+		&ir.Malloc{Dst: "pos", Size: c(atoms * 8)},
+		&ir.Malloc{Dst: "frc", Size: c(atoms * 8)},
+		&ir.Malloc{Dst: "pairs", Size: c(atoms * 8)},
+		&ir.Memset{Base: "pos", Val: c(2), Len: c(atoms * 8)},
+		&ir.Loop{Var: "k", N: c(atoms), Bounded: true, Body: []ir.Stmt{
+			&ir.Store{Base: "pairs", Idx: v("k"), Scale: 8, Size: 8, Val: rnd(c(atoms))},
+		}},
+		&ir.Loop{Var: "t", N: c(int64(steps)), Bounded: false, Body: []ir.Stmt{
+			&ir.Loop{Var: "i", N: c(atoms), Bounded: true, Body: []ir.Stmt{
+				&ir.Load{Dst: "x", Base: "pos", Idx: v("i"), Scale: 8, Size: 8},
+				&ir.Load{Dst: "j", Base: "pairs", Idx: v("i"), Scale: 8, Size: 8},
+				&ir.Load{Dst: "xj", Base: "pos", Idx: v("j"), Scale: 8, Size: 8},
+				&ir.Store{Base: "frc", Idx: v("i"), Scale: 8, Size: 8,
+					Val: sub(v("xj"), v("x"))},
+			}},
+		}},
+	}}
+}
