@@ -8,29 +8,53 @@
 //	bugsweep -suite flaws
 //	bugsweep -suite magma
 //	bugsweep -suite all
+//
+// Engine flags:
+//
+//	-parallel N  worker count for the case matrix (default 0 = GOMAXPROCS);
+//	             every case runs against its own fresh tool runtimes and
+//	             tallies are merged in corpus order, so each table is
+//	             identical at any -parallel level
+//	-timeout D   per-case guard (e.g. 30s): a hung case fails the run
+//	             instead of wedging it (default off)
+//	-quiet       suppress the progress/ETA lines on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/parallel"
 )
 
 func main() {
 	suite := flag.String("suite", "all", "suite: juliet, flaws, magma, all")
+	par := flag.Int("parallel", 0, "matrix worker count; 0 = GOMAXPROCS")
+	timeout := flag.Duration("timeout", 0, "per-case timeout guard; 0 disables")
+	quiet := flag.Bool("quiet", false, "suppress progress/ETA lines on stderr")
 	flag.Parse()
+
+	engine := func(name string) bench.Options {
+		o := bench.Options{Parallel: *par, Timeout: *timeout}
+		if !*quiet {
+			o.Progress = parallel.Printer(os.Stderr, "bugsweep: "+name, 500*time.Millisecond)
+		}
+		return o
+	}
 
 	if *suite == "all" || *suite == "juliet" {
 		fmt.Println("Table 3 — detection capability on the Juliet-like suite")
-		fmt.Println(bench.RenderTable3())
+		fmt.Println(bench.RenderTable3Opts(engine("juliet")))
 	}
 	if *suite == "all" || *suite == "flaws" {
 		fmt.Println("Table 4 — detection capability for Linux Flaw Project CVEs")
-		fmt.Println(bench.RenderTable4())
+		fmt.Println(bench.RenderTable4Opts(engine("flaws")))
 	}
 	if *suite == "all" || *suite == "magma" {
 		fmt.Println("Table 5 — detection under redzone settings (Magma-like corpus)")
-		fmt.Println(bench.RenderTable5())
+		fmt.Println(bench.RenderTable5Opts(engine("magma")))
 	}
 }

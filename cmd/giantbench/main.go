@@ -8,6 +8,24 @@
 //	giantbench -exp fig10
 //	giantbench -exp fig11
 //	giantbench -exp all
+//
+// Engine flags:
+//
+//	-parallel N          worker count for the experiment matrix
+//	                     (default 0 = GOMAXPROCS); every work item runs
+//	                     in its own shared-nothing runtime and results
+//	                     are merged in matrix order, so the output is
+//	                     identical at any -parallel level
+//	-timeout D           per-item guard (e.g. 2m): a hung kernel fails
+//	                     the run instead of wedging it (default off)
+//	-clock virtual|wall  timing source for table2/ablation/fig11.
+//	                     "virtual" (the default) bills each run's counted
+//	                     work at fixed latencies, making timing tables
+//	                     byte-identical across runs, machines and
+//	                     -parallel levels; "wall" measures real time —
+//	                     the paper's actual methodology, best taken with
+//	                     -parallel 1
+//	-quiet               suppress the progress/ETA lines on stderr
 package main
 
 import (
@@ -15,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/parallel"
 )
 
 func main() {
@@ -24,7 +44,27 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (table2, ablation, fig10)")
+	par := flag.Int("parallel", 0, "matrix worker count; 0 = GOMAXPROCS")
+	timeout := flag.Duration("timeout", 0, "per-item timeout guard; 0 disables")
+	clock := flag.String("clock", "virtual", "timing source: virtual (deterministic cost model) or wall")
+	quiet := flag.Bool("quiet", false, "suppress progress/ETA lines on stderr")
 	flag.Parse()
+
+	if *clock != "virtual" && *clock != "wall" {
+		fmt.Fprintf(os.Stderr, "giantbench: -clock must be virtual or wall, got %q\n", *clock)
+		os.Exit(2)
+	}
+	engine := func(name string) bench.Options {
+		o := bench.Options{
+			Parallel:    *par,
+			Timeout:     *timeout,
+			VirtualTime: *clock == "virtual",
+		}
+		if !*quiet {
+			o.Progress = parallel.Printer(os.Stderr, "giantbench: "+name, 500*time.Millisecond)
+		}
+		return o
+	}
 
 	emitJSON := func(v any) error {
 		enc := json.NewEncoder(os.Stdout)
@@ -42,38 +82,28 @@ func main() {
 		}
 	}
 
-	run("table2", func() error {
-		rows, err := bench.Table2(*scale, *reps, false)
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			return emitJSON(struct {
-				Rows     []bench.Table2Row  `json:"rows"`
-				GeoMeans map[string]float64 `json:"geoMeans"`
-			}{rows, bench.GeoMeans(rows)})
-		}
-		fmt.Println("Table 2 — runtime overhead vs native (SPEC-like kernels)")
-		fmt.Println(bench.RenderTable2(rows, false))
-		return nil
-	})
-	run("ablation", func() error {
-		rows, err := bench.Table2(*scale, *reps, true)
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			return emitJSON(struct {
-				Rows     []bench.Table2Row  `json:"rows"`
-				GeoMeans map[string]float64 `json:"geoMeans"`
-			}{rows, bench.GeoMeans(rows)})
-		}
-		fmt.Println("Table 2 (ablation) — CacheOnly / EliminationOnly columns")
-		fmt.Println(bench.RenderTable2(rows, true))
-		return nil
-	})
+	table2 := func(name string, ablation bool, caption string) {
+		run(name, func() error {
+			res, err := bench.Table2Run(*scale, *reps, ablation, engine(name))
+			if err != nil {
+				return err
+			}
+			if *asJSON {
+				return emitJSON(struct {
+					Rows     []bench.Table2Row  `json:"rows"`
+					GeoMeans map[string]float64 `json:"geoMeans"`
+				}{res.Rows, bench.GeoMeans(res.Rows)})
+			}
+			fmt.Println(caption)
+			fmt.Println(bench.RenderTable2(res.Rows, ablation))
+			return nil
+		})
+	}
+	table2("table2", false, "Table 2 — runtime overhead vs native (SPEC-like kernels)")
+	table2("ablation", true, "Table 2 (ablation) — CacheOnly / EliminationOnly columns")
+
 	run("fig10", func() error {
-		rows, err := bench.Fig10(*scale)
+		rows, err := bench.Fig10Run(*scale, engine("fig10"))
 		if err != nil {
 			return err
 		}
@@ -103,7 +133,7 @@ func main() {
 		return nil
 	})
 	run("fig11", func() error {
-		pts, err := bench.Fig11([]uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}, 50**reps)
+		pts, err := bench.Fig11Run([]uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}, 50**reps, engine("fig11"))
 		if err != nil {
 			return err
 		}

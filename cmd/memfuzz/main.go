@@ -10,6 +10,12 @@
 //
 //	memfuzz -n 200            # 200 clean + 200 buggy seeds
 //	memfuzz -n 50 -seed 1234  # deterministic start seed
+//	memfuzz -parallel 4       # shard seeds across 4 workers
+//
+// Seeds are sharded across the worker pool (-parallel N, default
+// GOMAXPROCS); every seed builds its own runtimes and failures are
+// reported in seed order, so the output is identical at any -parallel
+// level.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
 	"giantsan/internal/ir"
+	"giantsan/internal/parallel"
 	"giantsan/internal/progen"
 	"giantsan/internal/rt"
 )
@@ -46,54 +53,96 @@ func run(p *ir.Prog, ci int) (*interp.Result, error) {
 	return ex.Run(), nil
 }
 
+// cleanSeed checks one clean seed under every configuration and returns
+// the failure messages (nil when the seed passes).
+func cleanSeed(s int64) []string {
+	var fails []string
+	p := progen.Clean(s)
+	var base uint64
+	for ci := range configs {
+		res, err := run(p, ci)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("seed %d (%s): %v", s, configs[ci].prof.Name, err))
+			continue
+		}
+		if res.Errors.Total() != 0 {
+			fails = append(fails, fmt.Sprintf("seed %d: false positive under %s: %v",
+				s, configs[ci].prof.Name, res.Errors.Errors[0]))
+		}
+		if ci == 0 {
+			base = res.Checksum
+		} else if res.Checksum != base {
+			fails = append(fails, fmt.Sprintf("seed %d: semantics diverge under %s", s, configs[ci].prof.Name))
+		}
+	}
+	return fails
+}
+
+// buggySeed checks one buggy seed; planted reports whether the generator
+// actually emitted the bug site for this seed.
+func buggySeed(s int64) (fails []string, planted bool) {
+	p, ok := progen.Buggy(s)
+	if !ok {
+		return nil, false
+	}
+	for ci := 1; ci < len(configs); ci++ { // skip native
+		res, err := run(p, ci)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("seed %d (%s): %v", s, configs[ci].prof.Name, err))
+			continue
+		}
+		if res.Errors.Total() == 0 {
+			fails = append(fails, fmt.Sprintf("seed %d: %s missed the planted bug", s, configs[ci].prof.Name))
+		}
+	}
+	return fails, true
+}
+
 func main() {
 	n := flag.Int("n", 100, "seeds per mode")
 	seed := flag.Int64("seed", 0, "starting seed")
+	par := flag.Int("parallel", 0, "seed worker count; 0 = GOMAXPROCS")
 	flag.Parse()
 
-	failures := 0
-	fail := func(format string, args ...any) {
-		failures++
-		fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+	pool := parallel.Options{Workers: *par}
+	type verdict struct {
+		fails   []string
+		planted bool
 	}
 
-	for s := *seed; s < *seed+int64(*n); s++ {
-		p := progen.Clean(s)
-		var base uint64
-		for ci := range configs {
-			res, err := run(p, ci)
-			if err != nil {
-				fail("seed %d (%s): %v", s, configs[ci].prof.Name, err)
-				continue
-			}
-			if res.Errors.Total() != 0 {
-				fail("seed %d: false positive under %s: %v",
-					s, configs[ci].prof.Name, res.Errors.Errors[0])
-			}
-			if ci == 0 {
-				base = res.Checksum
-			} else if res.Checksum != base {
-				fail("seed %d: semantics diverge under %s", s, configs[ci].prof.Name)
-			}
-		}
+	// Each seed is a shared-nothing work item (fresh runtimes per run);
+	// verdicts come back in seed order, so the report is deterministic at
+	// any worker count.
+	clean, err := parallel.Map(*n, pool, func(i int) (verdict, error) {
+		return verdict{fails: cleanSeed(*seed + int64(i))}, nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memfuzz: %v\n", err)
+		os.Exit(1)
+	}
+	buggy, err := parallel.Map(*n, pool, func(i int) (verdict, error) {
+		fails, planted := buggySeed(*seed + int64(i))
+		return verdict{fails: fails, planted: planted}, nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memfuzz: %v\n", err)
+		os.Exit(1)
 	}
 
-	planted := 0
-	for s := *seed; s < *seed+int64(*n); s++ {
-		p, ok := progen.Buggy(s)
-		if !ok {
-			continue
+	failures, planted := 0, 0
+	for _, v := range clean {
+		for _, f := range v.fails {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
 		}
-		planted++
-		for ci := 1; ci < len(configs); ci++ { // skip native
-			res, err := run(p, ci)
-			if err != nil {
-				fail("seed %d (%s): %v", s, configs[ci].prof.Name, err)
-				continue
-			}
-			if res.Errors.Total() == 0 {
-				fail("seed %d: %s missed the planted bug", s, configs[ci].prof.Name)
-			}
+	}
+	for _, v := range buggy {
+		if v.planted {
+			planted++
+		}
+		for _, f := range v.fails {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
 		}
 	}
 

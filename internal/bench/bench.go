@@ -14,7 +14,9 @@ import (
 	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
 	"giantsan/internal/lfp"
+	"giantsan/internal/parallel"
 	"giantsan/internal/rt"
+	"giantsan/internal/san"
 	"giantsan/internal/texttable"
 	"giantsan/internal/workload"
 )
@@ -109,13 +111,95 @@ func median(ds []time.Duration) time.Duration {
 }
 
 // Table2 regenerates the performance study: every workload under every
-// configuration, reps repetitions each (median taken).
+// configuration, reps repetitions each (median taken). It runs the matrix
+// strictly sequentially — the highest-fidelity setting for wall-clock
+// timing. Table2Run is the parallel engine entry point.
 func Table2(scale, reps int, includeAblation bool) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, w := range workload.All() {
+	res, err := Table2Run(scale, reps, includeAblation, Options{Parallel: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// Table2Result bundles the merged outputs of one Table 2 matrix run.
+type Table2Result struct {
+	Rows []Table2Row
+	// Stats is the sanitizer work per configuration label, merged across
+	// the whole matrix in index order.
+	Stats map[string]*san.Stats
+}
+
+// table2Item is one cell-sample of the kernel × sanitizer × repetition
+// matrix. LFP build/run failures (static Table 2 facts) never become
+// items; they are filled in at merge time.
+type table2Item struct {
+	wi, ci, rep int
+}
+
+// Table2Run shards the kernel × sanitizer × repetition matrix across the
+// worker pool. Each item executes one repetition inside its own freshly
+// constructed runtime; samples, medians and Stats are merged by matrix
+// index, so the rendered table is identical at any opts.Parallel level
+// (byte-identical across machines too under opts.VirtualTime).
+func Table2Run(scale, reps int, includeAblation bool, opts Options) (*Table2Result, error) {
+	ws := workload.All()
+	cfgs := Configs()
+	var items []table2Item
+	for wi := range ws {
+		for ci, cfg := range cfgs {
+			if cfg.Ablation && !includeAblation {
+				continue
+			}
+			if cfg.IsLFP {
+				if _, ok := lfpBuildFailure[ws[wi].ID]; ok {
+					continue
+				}
+			}
+			for rep := 0; rep < reps; rep++ {
+				items = append(items, table2Item{wi, ci, rep})
+			}
+		}
+	}
+	type sample struct {
+		dur time.Duration
+		san san.Stats
+	}
+	samples, err := parallel.Map(len(items), opts.pool(), func(k int) (sample, error) {
+		it := items[k]
+		d, res, err := RunOnce(ws[it.wi], cfgs[it.ci], scale)
+		if err != nil {
+			return sample{}, err
+		}
+		if opts.VirtualTime {
+			d = virtualDuration(res)
+		}
+		return sample{dur: d, san: res.San}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge in matrix order: item indices ascend through (wi, ci, rep),
+	// so grouping by cell preserves repetition order and the Stats
+	// accumulation order is independent of completion order.
+	out := &Table2Result{Stats: map[string]*san.Stats{}}
+	type cellKey struct{ wi, ci int }
+	durs := map[cellKey][]time.Duration{}
+	for k := range samples {
+		it := items[k]
+		durs[cellKey{it.wi, it.ci}] = append(durs[cellKey{it.wi, it.ci}], samples[k].dur)
+		label := cfgs[it.ci].Label
+		if out.Stats[label] == nil {
+			out.Stats[label] = samples[k].san.Clone()
+		} else {
+			out.Stats[label].Add(&samples[k].san)
+		}
+	}
+	for wi, w := range ws {
 		row := Table2Row{ID: w.ID, Cells: map[string]Cell{}}
 		var native float64
-		for _, cfg := range Configs() {
+		for ci, cfg := range cfgs {
 			if cfg.Ablation && !includeAblation {
 				continue
 			}
@@ -125,15 +209,7 @@ func Table2(scale, reps int, includeAblation bool) ([]Table2Row, error) {
 					continue
 				}
 			}
-			samples := make([]time.Duration, 0, reps)
-			for r := 0; r < reps; r++ {
-				d, _, err := RunOnce(w, cfg, scale)
-				if err != nil {
-					return nil, err
-				}
-				samples = append(samples, d)
-			}
-			sec := median(samples).Seconds()
+			sec := median(durs[cellKey{wi, ci}]).Seconds()
 			cell := Cell{Seconds: sec}
 			if cfg.Label == "native" {
 				native = sec
@@ -143,9 +219,9 @@ func Table2(scale, reps int, includeAblation bool) ([]Table2Row, error) {
 			}
 			row.Cells[cfg.Label] = cell
 		}
-		rows = append(rows, row)
+		out.Rows = append(out.Rows, row)
 	}
-	return rows, nil
+	return out, nil
 }
 
 // GeoMeans computes the geometric-mean ratio per configuration over rows,

@@ -8,6 +8,7 @@ import (
 	"giantsan/internal/instrument"
 	"giantsan/internal/juliet"
 	"giantsan/internal/magma"
+	"giantsan/internal/parallel"
 	"giantsan/internal/texttable"
 	"giantsan/internal/tool"
 	"giantsan/internal/traversal"
@@ -22,28 +23,36 @@ type Fig10Row struct {
 	Eliminated, Cached, FastOnly, FullCheck float64
 }
 
-// Fig10 regenerates the ablation proportions.
+// Fig10 regenerates the ablation proportions with default engine options.
+// The proportions are counter ratios — deterministic at any parallelism.
 func Fig10(scale int) ([]Fig10Row, error) {
-	var rows []Fig10Row
+	return Fig10Run(scale, Options{})
+}
+
+// Fig10Run shards the 24 kernels across the worker pool; each item runs
+// the full-GiantSan configuration in its own runtime. Rows are merged in
+// workload order.
+func Fig10Run(scale int, opts Options) ([]Fig10Row, error) {
 	cfg := Configs()[1] // the full GiantSan configuration
 	if cfg.Profile.Name != instrument.GiantSanProfile.Name {
 		panic("bench: Configs order changed; Fig10 needs giantsan")
 	}
-	for _, w := range workload.All() {
+	ws := workload.All()
+	return parallel.Map(len(ws), opts.pool(), func(i int) (Fig10Row, error) {
+		w := ws[i]
 		_, res, err := RunOnce(w, cfg, scale)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		total := float64(res.Stats.Accesses)
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			ID:         w.ID,
 			Eliminated: float64(res.Stats.Eliminated) / total,
 			Cached:     float64(res.Stats.Cached) / total,
 			FastOnly:   float64(res.Stats.FastOnly) / total,
 			FullCheck:  float64(res.Stats.FullCheck) / total,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig10Means averages the category shares across programs.
@@ -84,32 +93,59 @@ type Fig11Point struct {
 	PerPass  time.Duration
 }
 
-// Fig11 measures all pattern/mode/size combinations. reps passes are
-// averaged per point. The mode set includes GiantSanLB, the §5.4
+// Fig11 measures all pattern/mode/size combinations sequentially (the
+// highest-fidelity setting for these timing microbenchmarks). reps passes
+// are averaged per point. The mode set includes GiantSanLB, the §5.4
 // lower-bound mitigation, so the figure shows both the limitation and
 // its proposed fix.
 func Fig11(sizes []uint64, reps int) ([]Fig11Point, error) {
-	var pts []Fig11Point
+	return Fig11Run(sizes, reps, Options{Parallel: 1})
+}
+
+// Fig11Run shards the pattern × mode × size matrix across the worker
+// pool; each item builds its own harness (buffer, runtime, shadow) and
+// measures its own passes. Points are merged in matrix order. Under
+// opts.VirtualTime the per-pass duration is derived from the harness's
+// check and metadata-load counters instead of the wall clock.
+func Fig11Run(sizes []uint64, reps int, opts Options) ([]Fig11Point, error) {
+	type fig11Item struct {
+		pattern traversal.Pattern
+		mode    traversal.Mode
+		size    uint64
+	}
+	var items []fig11Item
 	for _, p := range traversal.Patterns() {
 		for _, m := range traversal.ModesWithMitigation() {
 			for _, size := range sizes {
-				h, err := traversal.New(m, p, size)
-				if err != nil {
-					return nil, err
-				}
-				h.Traverse() // warm-up: converge the quasi-bound, fault pages
-				start := time.Now()
-				for r := 0; r < reps; r++ {
-					h.Traverse()
-				}
-				pts = append(pts, Fig11Point{
-					Pattern: p, Mode: m, BufBytes: size,
-					PerPass: time.Since(start) / time.Duration(reps),
-				})
+				items = append(items, fig11Item{p, m, size})
 			}
 		}
 	}
-	return pts, nil
+	return parallel.Map(len(items), opts.pool(), func(i int) (Fig11Point, error) {
+		it := items[i]
+		h, err := traversal.New(it.mode, it.pattern, it.size)
+		if err != nil {
+			return Fig11Point{}, err
+		}
+		h.Traverse() // warm-up: converge the quasi-bound, fault pages
+		before := h.SanStats().Clone()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			h.Traverse()
+		}
+		perPass := time.Since(start) / time.Duration(reps)
+		if opts.VirtualTime {
+			delta := h.SanStats().Sub(before)
+			cost := h.Elems()*uint64(reps)*vAccessNs +
+				delta.Checks*vCheckNs +
+				delta.ShadowLoads*vShadowLoadNs +
+				delta.SlowChecks*vSlowCheckNs +
+				delta.CacheRefills*vCacheRefillNs +
+				delta.RangeChecks*vRangeCheckNs
+			perPass = time.Duration(cost/uint64(reps)) * time.Nanosecond
+		}
+		return Fig11Point{Pattern: it.pattern, Mode: it.mode, BufBytes: it.size, PerPass: perPass}, nil
+	})
 }
 
 // RenderFig11 renders one sub-figure per pattern.
@@ -159,11 +195,17 @@ func DetectionTools() []*tool.Tool {
 }
 
 // RenderTable3 runs the Juliet study and renders the paper's layout.
-func RenderTable3() string {
+func RenderTable3() string { return RenderTable3Opts(Options{}) }
+
+// RenderTable3Opts is RenderTable3 with the corpus sharded across the
+// worker pool: one item per generated case, each against a fresh tool
+// set. Tallies are merged in case order, so the table is identical at any
+// parallelism.
+func RenderTable3Opts(opts Options) string {
 	tb := texttable.New("CWE ID & Type", "GiantSan", "ASan", "ASan--", "LFP", "Total")
 	totals := map[string]int{}
 	grand := 0
-	for _, r := range juliet.Run(DetectionTools) {
+	for _, r := range juliet.RunOpts(DetectionTools, opts.pool()) {
 		tb.Add(fmt.Sprintf("%d: %s", r.CWE, juliet.CWEName(r.CWE)),
 			r.Detected["giantsan"], r.Detected["asan"], r.Detected["asan--"], r.Detected["lfp"], r.Total)
 		for k, v := range r.Detected {
@@ -176,7 +218,10 @@ func RenderTable3() string {
 }
 
 // RenderTable4 runs the CVE study and renders the paper's layout.
-func RenderTable4() string {
+func RenderTable4() string { return RenderTable4Opts(Options{}) }
+
+// RenderTable4Opts is RenderTable4 sharded one CVE scenario per item.
+func RenderTable4Opts(opts Options) string {
 	tb := texttable.New("Program", "CVE ID", "GiantSan", "ASan", "ASan--", "LFP")
 	mark := func(b bool) string {
 		if b {
@@ -184,14 +229,7 @@ func RenderTable4() string {
 		}
 		return "-"
 	}
-	for _, r := range flaws.Run(func() []*tool.Tool {
-		return []*tool.Tool{
-			tool.New(tool.Config{Kind: tool.GiantSan, HeapBytes: 4 << 20}),
-			tool.New(tool.Config{Kind: tool.ASan, HeapBytes: 4 << 20}),
-			tool.New(tool.Config{Kind: tool.ASanMinus, HeapBytes: 4 << 20}),
-			tool.New(tool.Config{Kind: tool.LFP, HeapBytes: 4 << 20}),
-		}
-	}) {
+	for _, r := range flaws.RunOpts(DetectionTools, opts.pool()) {
 		tb.Add(r.CVE.Program, r.CVE.ID,
 			mark(r.Detected["giantsan"]), mark(r.Detected["asan"]),
 			mark(r.Detected["asan--"]), mark(r.Detected["lfp"]))
@@ -200,9 +238,13 @@ func RenderTable4() string {
 }
 
 // RenderTable5 runs the Magma study and renders the paper's layout.
-func RenderTable5() string {
+func RenderTable5() string { return RenderTable5Opts(Options{}) }
+
+// RenderTable5Opts is RenderTable5 sharded one (project, tool config)
+// per item — each item owns a full runtime sized for its POC corpus.
+func RenderTable5Opts(opts Options) string {
 	tb := texttable.New("Project (LoC)", "ASan--(rz16)", "ASan--(rz512)", "ASan(rz16)", "ASan(rz512)", "GiantSan(rz16)", "Total")
-	for _, r := range magma.RunAll() {
+	for _, r := range magma.RunAllOpts(opts.pool()) {
 		tb.Add(fmt.Sprintf("%s (%s)", r.Project.Name, r.Project.LoC),
 			r.Counts["asan--(rz=16)"], r.Counts["asan--(rz=512)"],
 			r.Counts["asan(rz=16)"], r.Counts["asan(rz=512)"],

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"giantsan/internal/ir"
+	"giantsan/internal/parallel"
+	"giantsan/internal/progen"
+	"giantsan/internal/workload"
+)
+
+// TestTable2RunParallelDeterministic is the engine's core contract: the
+// full kernel × sanitizer × repetition matrix, run at one worker and at
+// eight, must render byte-identical tables and merge to identical Stats.
+// Virtual time makes the timing cells themselves comparable; the merge
+// order (matrix index, never completion order) does the rest.
+func TestTable2RunParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full performance matrix twice")
+	}
+	seq, err := Table2Run(1, 2, true, Options{Parallel: 1, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table2Run(1, 2, true, Options{Parallel: 8, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := RenderTable2(seq.Rows, true), RenderTable2(par.Rows, true)
+	if a != b {
+		t.Errorf("rendered tables differ between -parallel 1 and 8:\n--- sequential\n%s\n--- parallel\n%s", a, b)
+	}
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Errorf("merged Stats differ between -parallel 1 and 8:\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
+	}
+	if len(seq.Stats) != len(Configs()) {
+		t.Errorf("Stats has %d labels, want one per config (%d)", len(seq.Stats), len(Configs()))
+	}
+
+	// Virtual time must preserve the paper's Table 2 shape: the cost
+	// model's geometric means keep native < GiantSan < ASan-- < ASan, with
+	// both ablations between full GiantSan and ASan — deterministically,
+	// on any machine.
+	gm := GeoMeans(seq.Rows)
+	if !(1.0 < gm["giantsan"] && gm["giantsan"] < gm["asan--"] && gm["asan--"] < gm["asan"]) {
+		t.Errorf("virtual-time ordering violated: giantsan=%.3f asan--=%.3f asan=%.3f",
+			gm["giantsan"], gm["asan--"], gm["asan"])
+	}
+	for _, abl := range []string{"cacheonly", "elimonly"} {
+		if !(gm["giantsan"] <= gm[abl] && gm[abl] < gm["asan"]) {
+			t.Errorf("virtual-time %s=%.3f outside [giantsan=%.3f, asan=%.3f)",
+				abl, gm[abl], gm["giantsan"], gm["asan"])
+		}
+	}
+}
+
+// TestFig11RunParallelDeterministic covers the other timing figure: under
+// virtual time the traversal matrix must produce identical points at any
+// worker count.
+func TestFig11RunParallelDeterministic(t *testing.T) {
+	sizes := []uint64{1024, 4096}
+	seq, err := Fig11Run(sizes, 2, Options{Parallel: 1, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig11Run(sizes, 2, Options{Parallel: 8, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Fig11 points differ between -parallel 1 and 8:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if RenderFig11(seq) != RenderFig11(par) {
+		t.Error("rendered Fig11 differs between -parallel 1 and 8")
+	}
+}
+
+// TestFig10RunParallelDeterministic: the ablation proportions are counter
+// ratios, so parallelism must not perturb them at all.
+func TestFig10RunParallelDeterministic(t *testing.T) {
+	seq, err := Fig10Run(1, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10Run(1, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Fig10 rows differ between -parallel 1 and 8")
+	}
+}
+
+// TestDetectionTablesParallelDeterministic: Table 4 (cheap enough to run
+// twice unconditionally) must render byte-identically at any worker
+// count; Tables 3 and 5 — the Juliet corpus and Magma's ~295k POC
+// executions — join in full (non-short) runs.
+func TestDetectionTablesParallelDeterministic(t *testing.T) {
+	if a, b := RenderTable4Opts(Options{Parallel: 1}), RenderTable4Opts(Options{Parallel: 8}); a != b {
+		t.Errorf("table 4 differs between -parallel 1 and 8:\n%s\nvs\n%s", a, b)
+	}
+	if testing.Short() {
+		return
+	}
+	if a, b := RenderTable3Opts(Options{Parallel: 1}), RenderTable3Opts(Options{Parallel: 8}); a != b {
+		t.Errorf("table 3 differs between -parallel 1 and 8:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := RenderTable5Opts(Options{Parallel: 1}), RenderTable5Opts(Options{Parallel: 8}); a != b {
+		t.Errorf("table 5 differs between -parallel 1 and 8:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestVirtualTimeReproducible: the same cell must get the same virtual
+// duration on every run — that is the whole point of the cost model.
+func TestVirtualTimeReproducible(t *testing.T) {
+	w := workload.ByID("505.mcf_r")
+	cfg := Configs()[1]
+	_, r1, err := RunOnce(w, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := RunOnce(w, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := virtualDuration(r1), virtualDuration(r2)
+	if d1 != d2 {
+		t.Errorf("virtual durations differ across identical runs: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Errorf("virtual duration %v not positive", d1)
+	}
+}
+
+// buggyWorkload wraps a progen program with a planted out-of-bounds
+// access as a Table 2-style workload, so the rate driver's error path can
+// be exercised with a real sanitizer report.
+func buggyWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	for seed := int64(1); seed < 64; seed++ {
+		p, ok := progen.Buggy(seed)
+		if !ok {
+			continue
+		}
+		return &workload.Workload{
+			ID:        fmt.Sprintf("buggy-%d", seed),
+			HeapBytes: 16 << 20,
+			Build:     func(int) *ir.Prog { return p },
+		}
+	}
+	t.Fatal("no buggy progen seed found")
+	return nil
+}
+
+// TestRateRunReturnsMeasurementOnError: a rate run whose copies report
+// sanitizer errors still completed and was still timed — the measurement
+// must come back alongside the error, and the error must deterministically
+// name the lowest failing copy.
+func TestRateRunReturnsMeasurementOnError(t *testing.T) {
+	w := buggyWorkload(t)
+	cfg := Configs()[1] // giantsan: must detect the planted bug
+	res, err := RateRun(w, cfg, 1, 4)
+	if err == nil {
+		t.Fatal("buggy workload produced no error")
+	}
+	if !strings.Contains(err.Error(), "copy 0") {
+		t.Errorf("error %q should name the lowest failing copy (copy 0: every copy runs the same program)", err)
+	}
+	if res.Copies != 4 || res.Elapsed <= 0 || res.Throughput <= 0 {
+		t.Errorf("measurement discarded on error: %+v", res)
+	}
+}
+
+// TestBenchProgress: the engine surfaces progress snapshots for the cmd
+// layer's ETA lines; the final snapshot must account for every item.
+func TestBenchProgress(t *testing.T) {
+	var last parallel.Progress
+	_, err := Fig10Run(1, Options{Parallel: 4, Progress: func(p parallel.Progress) { last = p }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Done != last.Total || last.Total != len(workload.All()) {
+		t.Errorf("final progress %+v, want done == total == %d", last, len(workload.All()))
+	}
+}

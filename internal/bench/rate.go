@@ -54,14 +54,19 @@ func RateRun(w *workload.Workload, cfg SanConfig, scale, copies int) (RateResult
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	for _, o := range outs {
-		if o.err != nil {
-			return RateResult{}, o.err
-		}
-	}
-	return RateResult{
+	res := RateResult{
 		Copies:     copies,
 		Elapsed:    elapsed,
 		Throughput: float64(copies) / elapsed.Seconds(),
-	}, nil
+	}
+	// The run completed and was measured even if copies reported errors:
+	// return the measurement alongside the failure. outs is scanned in
+	// copy order, so the reported error is always the lowest-index
+	// failing copy, independent of goroutine completion order.
+	for _, o := range outs {
+		if o.err != nil {
+			return res, o.err
+		}
+	}
+	return res, nil
 }

@@ -17,6 +17,9 @@
 package flaws
 
 import (
+	"fmt"
+
+	"giantsan/internal/parallel"
 	"giantsan/internal/report"
 	"giantsan/internal/tool"
 )
@@ -148,16 +151,28 @@ type Result struct {
 	Detected map[string]bool
 }
 
-// Run evaluates all CVEs; mk builds a fresh tool set per scenario.
+// Run evaluates all CVEs sequentially; mk builds a fresh tool set per
+// scenario.
 func Run(mk func() []*tool.Tool) []Result {
-	var out []Result
-	for _, c := range All() {
+	return RunOpts(mk, parallel.Options{Workers: 1})
+}
+
+// RunOpts shards the CVE list across the worker pool, one scenario per
+// item with its own fresh tool set; results keep Table 4's row order.
+func RunOpts(mk func() []*tool.Tool, opts parallel.Options) []Result {
+	cves := All()
+	out, err := parallel.Map(len(cves), opts, func(i int) (Result, error) {
+		c := cves[i]
 		r := Result{CVE: c, Detected: map[string]bool{}}
 		for _, t := range mk() {
 			c.Run(t)
 			r.Detected[t.Name()] = t.Detected()
 		}
-		out = append(out, r)
+		return r, nil
+	})
+	if err != nil {
+		// Scenarios never fail; only a pool timeout can land here.
+		panic(fmt.Sprintf("flaws: %v", err))
 	}
 	return out
 }

@@ -1,9 +1,12 @@
 package heap
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
+	"giantsan/internal/core"
+	"giantsan/internal/oracle"
 	"giantsan/internal/vmem"
 )
 
@@ -105,5 +108,126 @@ func TestConcurrentDistinctChunks(t *testing.T) {
 	}
 	if len(seen) != goroutines*200 {
 		t.Errorf("got %d distinct chunks, want %d", len(seen), goroutines*200)
+	}
+}
+
+// TestPendingWindowValidatesAgainstOracle audits the thread-cache pending
+// window against the whole-shadow validator: after every operation —
+// including with frees parked unflushed in the cache — the GiantSan shadow
+// and the oracle must agree. On the pre-fix code this fails at the first
+// validation after a TCache.Free: the user region is poisoned HeapFreed
+// while the registry and ground truth still say live (the ValidateShadow
+// "error code but fully addressable" invariant).
+func TestPendingWindowValidatesAgainstOracle(t *testing.T) {
+	sp := vmem.NewSpace(4 << 20)
+	g := core.New(sp)
+	o := oracle.New(sp)
+	a := New(sp, g, Config{Oracle: o, QuarantineBytes: 1 << 16})
+	tc := a.NewTCache()
+	tc.FlushAt = 1 << 20 // keep the window open; flush only when asked
+	rng := rand.New(rand.NewSource(7))
+	var live []vmem.Addr
+	for i := 0; i < 300; i++ {
+		p, err := tc.Malloc(uint64(rng.Intn(900) + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+		if len(live) > 8 && rng.Intn(2) == 0 {
+			idx := rng.Intn(len(live))
+			if err := tc.Free(live[idx]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+		if i%25 == 0 {
+			if err := g.ValidateShadow(o); err != nil {
+				t.Fatalf("op %d (pending=%d): %v", i, tc.Pending(), err)
+			}
+		}
+	}
+	if tc.Pending() == 0 {
+		t.Fatal("test never held a pending window open")
+	}
+	if err := g.ValidateShadow(o); err != nil {
+		t.Fatalf("with %d pending frees: %v", tc.Pending(), err)
+	}
+	if err := tc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateShadow(o); err != nil {
+		t.Fatalf("after flush: %v", err)
+	}
+}
+
+// TestConcurrentTCacheValidationRounds interleaves concurrent thread-cache
+// traffic with whole-shadow validation: several simulated threads churn
+// through their own caches, pause at a barrier, the validator runs with
+// their pending windows still open, and the next round begins. Run with
+// -race: it exercises the allocator lock, the oracle lock and the
+// chunk-disjoint shadow writes together.
+func TestConcurrentTCacheValidationRounds(t *testing.T) {
+	sp := vmem.NewSpace(8 << 20)
+	g := core.New(sp)
+	o := oracle.New(sp)
+	a := New(sp, g, Config{Oracle: o, QuarantineBytes: 1 << 16})
+	const workers = 4
+	const rounds = 4
+	const opsPerRound = 150
+
+	caches := make([]*TCache, workers)
+	lives := make([][]vmem.Addr, workers)
+	for w := range caches {
+		caches[w] = a.NewTCache()
+		caches[w].FlushAt = 1 << 20
+	}
+	for round := 0; round < rounds; round++ {
+		errs := make(chan string, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tc := caches[w]
+				for i := 0; i < opsPerRound; i++ {
+					p, err := tc.Malloc(uint64(16 + (w*37+i)%700))
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					lives[w] = append(lives[w], p)
+					if len(lives[w]) > 10 {
+						if err := tc.Free(lives[w][0]); err != nil {
+							errs <- err.Error()
+							return
+						}
+						lives[w] = lives[w][1:]
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+		pending := 0
+		for _, tc := range caches {
+			pending += tc.Pending()
+		}
+		if pending == 0 {
+			t.Fatalf("round %d: no pending windows open at validation time", round)
+		}
+		if err := g.ValidateShadow(o); err != nil {
+			t.Fatalf("round %d (pending=%d): %v", round, pending, err)
+		}
+	}
+	for _, tc := range caches {
+		if err := tc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.ValidateShadow(o); err != nil {
+		t.Fatalf("after final flush: %v", err)
 	}
 }

@@ -74,6 +74,8 @@ func (a *Allocator) Locate(addr vmem.Addr, slack uint64) (ChunkInfo, bool) {
 	}
 	state := "live"
 	switch best.state {
+	case statePending:
+		state = "freed (pending flush)"
 	case stateQuarantined:
 		state = "quarantined"
 	case stateFree:

@@ -44,6 +44,12 @@ type chunkState uint8
 
 const (
 	stateLive chunkState = iota
+	// statePending marks a chunk freed through a thread cache but not yet
+	// flushed to the central quarantine. The registry leaves the live
+	// state at TCache.Free time so that the shadow (poisoned HeapFreed),
+	// the oracle (bytes Freed) and the registry never disagree during the
+	// pending window, and a second free is reported immediately.
+	statePending
 	stateQuarantined
 	stateFree
 )
@@ -229,13 +235,29 @@ func (a *Allocator) Free(p vmem.Addr) *report.Error {
 		return &report.Error{Kind: report.InvalidFree, Access: report.FreeOp, Addr: p}
 	}
 	switch c.state {
-	case stateQuarantined, stateFree:
+	case statePending, stateQuarantined, stateFree:
 		a.mu.Unlock()
 		return &report.Error{Kind: report.DoubleFree, Access: report.FreeOp, Addr: p, Context: c.label}
 	}
-	c.state = stateQuarantined
 	a.stats.Frees++
 	a.stats.BytesLive -= c.userSize
+	a.quarantineLocked(c)
+	a.mu.Unlock()
+
+	// The whole user region becomes non-addressable "freed" memory. The
+	// redzones keep their codes (they stay non-addressable either way).
+	a.p.Poison(c.userBase, c.userReserved(), san.HeapFreed)
+	if a.cfg.Oracle != nil {
+		a.cfg.Oracle.Free(p)
+	}
+	return nil
+}
+
+// quarantineLocked retires c into the FIFO quarantine (or straight to the
+// free list under NoQuarantine), recycling any evicted chunks. The caller
+// holds the lock; c must be live or pending.
+func (a *Allocator) quarantineLocked(c *chunk) {
+	c.state = stateQuarantined
 	var popped []*chunk
 	if a.cfg.NoQuarantine {
 		popped = append(popped, c)
@@ -255,14 +277,24 @@ func (a *Allocator) Free(p vmem.Addr) *report.Error {
 		old.state = stateFree
 		a.free[old.size] = append(a.free[old.size], old)
 	}
-	a.mu.Unlock()
+}
 
-	// The whole user region becomes non-addressable "freed" memory. The
-	// redzones keep their codes (they stay non-addressable either way).
-	a.p.Poison(c.userBase, c.userReserved(), san.HeapFreed)
-	if a.cfg.Oracle != nil {
-		a.cfg.Oracle.Free(p)
+// finishPending moves a thread-cache pending chunk into the central
+// quarantine. Detection-relevant state (chunk state, shadow poison, oracle
+// ground truth) was already updated at TCache.Free time; only the batched
+// central counters and the quarantine FIFO are touched here.
+func (a *Allocator) finishPending(p vmem.Addr) *report.Error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.chunks[p]
+	if !ok || c.state != statePending {
+		// A pending entry that is no longer pending means the pointer was
+		// re-routed around its owning tcache — classify as invalid free.
+		return &report.Error{Kind: report.InvalidFree, Access: report.FreeOp, Addr: p}
 	}
+	a.stats.Frees++
+	a.stats.BytesLive -= c.userSize
+	a.quarantineLocked(c)
 	return nil
 }
 

@@ -32,20 +32,29 @@ func (a *Allocator) NewTCache() *TCache { return &TCache{a: a} }
 func (t *TCache) Malloc(size uint64) (vmem.Addr, error) { return t.a.Malloc(size) }
 
 // Free records the free locally and flushes a batch when full. Invalid and
-// double frees are still detected immediately: detection must not depend on
-// flush timing.
+// double frees are detected immediately: the chunk leaves the live state,
+// is poisoned, and ground truth is updated at Free time, so detection
+// never depends on flush timing — a second free of the same pointer inside
+// the pending window reports right away, whichever path it takes.
 func (t *TCache) Free(p vmem.Addr) *report.Error {
-	t.a.mu.Lock()
-	c, ok := t.a.chunks[p]
-	bad := !ok || c.state != stateLive
-	t.a.mu.Unlock()
-	if bad {
-		// Delegate so the error classification logic stays in one place.
-		return t.a.Free(p)
+	a := t.a
+	a.mu.Lock()
+	c, ok := a.chunks[p]
+	if !ok || c.state != stateLive {
+		a.mu.Unlock()
+		// Delegate so the error classification logic stays in one place
+		// (invalid free vs double free, including pending chunks).
+		return a.Free(p)
 	}
-	// Poison immediately: temporal detection must not depend on flush
-	// timing. The central Free re-poisons at flush, which is harmless.
-	t.a.p.Poison(c.userBase, c.userReserved(), san.HeapFreed)
+	c.state = statePending
+	a.mu.Unlock()
+	// Temporal state becomes consistent immediately: shadow poisoned,
+	// oracle freed, registry pending. Only the quarantine hand-off (and
+	// the batched central counters) waits for the flush.
+	a.p.Poison(c.userBase, c.userReserved(), san.HeapFreed)
+	if a.cfg.Oracle != nil {
+		a.cfg.Oracle.Free(p)
+	}
 	t.pending = append(t.pending, p)
 	limit := t.FlushAt
 	if limit == 0 {
@@ -57,12 +66,12 @@ func (t *TCache) Free(p vmem.Addr) *report.Error {
 	return nil
 }
 
-// Flush pushes all pending frees to the central allocator. The first error
-// (if any) is returned.
+// Flush pushes all pending frees to the central quarantine. The first
+// error (if any) is returned.
 func (t *TCache) Flush() *report.Error {
 	var first *report.Error
 	for _, p := range t.pending {
-		if err := t.a.Free(p); err != nil && first == nil {
+		if err := t.a.finishPending(p); err != nil && first == nil {
 			first = err
 		}
 	}

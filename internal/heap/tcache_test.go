@@ -1,0 +1,104 @@
+package heap
+
+import (
+	"testing"
+
+	"giantsan/internal/oracle"
+	"giantsan/internal/report"
+	"giantsan/internal/vmem"
+)
+
+// TestTCacheDoubleFreeImmediate is the regression test for the pending-
+// window detection gap: a second free of the same pointer through the same
+// thread cache, with the flush threshold far away, must be reported as a
+// double free at the second Free call — not queued twice and only
+// classified at flush time.
+func TestTCacheDoubleFreeImmediate(t *testing.T) {
+	a, _, _ := newHeap(t, Config{})
+	tc := a.NewTCache()
+	tc.FlushAt = 1 << 20 // never auto-flush inside this test
+	p, err := tc.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Free(p); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	ferr := tc.Free(p)
+	if ferr == nil || ferr.Kind != report.DoubleFree {
+		t.Fatalf("second free inside the pending window: got %v, want immediate DoubleFree", ferr)
+	}
+	if got := tc.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after rejected double free, want 1", got)
+	}
+	// The flush must retire the single pending entry cleanly: the double
+	// free was already reported and must not resurface.
+	if err := tc.Flush(); err != nil {
+		t.Fatalf("flush after reported double free: %v", err)
+	}
+	if st := a.Stats(); st.Frees != 1 {
+		t.Errorf("central Frees = %d, want 1", st.Frees)
+	}
+}
+
+// TestTCachePendingWindowConsistency: during the pending window the three
+// views of a freed chunk must agree — registry no longer live, shadow
+// poisoned, oracle bytes Freed — so validators comparing any pair cannot
+// flag a phantom inconsistency (and a central Free racing the window is a
+// detected double free, not a second quarantine push).
+func TestTCachePendingWindowConsistency(t *testing.T) {
+	a, p, o := newHeap(t, Config{})
+	tc := a.NewTCache()
+	tc.FlushAt = 1 << 20
+	ptr, err := tc.Malloc(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	// Registry: not live anymore.
+	if _, live := a.UserSize(ptr); live {
+		t.Error("registry still reports the pending chunk as live")
+	}
+	// Shadow: poisoned.
+	if p.addressable(ptr, 1) {
+		t.Error("pending chunk still addressable in shadow")
+	}
+	// Oracle: ground truth freed.
+	if got := o.StateAt(ptr); got != oracle.Freed {
+		t.Errorf("oracle state = %v, want Freed", got)
+	}
+	// A central free of the pending pointer is a double free.
+	if ferr := a.Free(ptr); ferr == nil || ferr.Kind != report.DoubleFree {
+		t.Errorf("central free of pending chunk: got %v, want DoubleFree", ferr)
+	}
+	// The pending chunk must not be recycled while unflushed: churn the
+	// allocator and confirm the address is never handed out again.
+	for i := 0; i < 64; i++ {
+		q, err := a.Malloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q == ptr {
+			t.Fatal("pending chunk recycled before flush")
+		}
+		if err := a.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCacheInvalidFreeStillImmediate: classification of frees of
+// never-allocated addresses is unchanged by the pending-state machinery.
+func TestTCacheInvalidFreeStillImmediate(t *testing.T) {
+	a, _, _ := newHeap(t, Config{})
+	tc := a.NewTCache()
+	tc.FlushAt = 1 << 20
+	if err := tc.Free(vmem.Addr(0x1234)); err == nil || err.Kind != report.InvalidFree {
+		t.Errorf("invalid free through tcache: got %v, want InvalidFree", err)
+	}
+}

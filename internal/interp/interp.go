@@ -139,17 +139,7 @@ func (e *Exec) Run() *Result {
 		fn(st)
 	}
 	after := *st.sanStats
-	delta := san.Stats{
-		Checks:       after.Checks - before.Checks,
-		ShadowLoads:  after.ShadowLoads - before.ShadowLoads,
-		FastChecks:   after.FastChecks - before.FastChecks,
-		SlowChecks:   after.SlowChecks - before.SlowChecks,
-		CacheHits:    after.CacheHits - before.CacheHits,
-		CacheRefills: after.CacheRefills - before.CacheRefills,
-		RangeChecks:  after.RangeChecks - before.RangeChecks,
-		Errors:       after.Errors - before.Errors,
-	}
-	return &Result{Stats: st.stats, San: delta, Checksum: st.checksum, Errors: st.errs}
+	return &Result{Stats: st.stats, San: after.Sub(&before), Checksum: st.checksum, Errors: st.errs}
 }
 
 type compiler struct {

@@ -18,6 +18,7 @@ package juliet
 import (
 	"fmt"
 
+	"giantsan/internal/parallel"
 	"giantsan/internal/report"
 	"giantsan/internal/tool"
 )
@@ -339,25 +340,52 @@ type Result struct {
 	FalsePos map[string]int
 }
 
-// Run evaluates the whole suite against the given tool configurations and
-// returns one Result per CWE in CWEs() order.
+// Run evaluates the whole suite sequentially against the given tool
+// configurations and returns one Result per CWE in CWEs() order.
 func Run(mk func() []*tool.Tool) []Result {
+	return RunOpts(mk, parallel.Options{Workers: 1})
+}
+
+// RunOpts shards the suite across the worker pool, one case per item.
+// Every item builds its own fresh tool set via mk (each tool owns a full
+// runtime), so cases share nothing; verdicts are folded into the per-CWE
+// tallies in case order, making the results identical at any worker
+// count.
+func RunOpts(mk func() []*tool.Tool, opts parallel.Options) []Result {
+	cases := Suite()
+	type verdict struct {
+		detected map[string]bool
+	}
+	verdicts, err := parallel.Map(len(cases), opts, func(i int) (verdict, error) {
+		c := cases[i]
+		v := verdict{detected: map[string]bool{}}
+		for _, t := range mk() {
+			c.Run(t)
+			v.detected[t.Name()] = t.Detected()
+		}
+		return v, nil
+	})
+	if err != nil {
+		// Case functions never fail; only a pool timeout can land here.
+		panic(fmt.Sprintf("juliet: %v", err))
+	}
 	byCWE := map[int]*Result{}
 	for _, id := range CWEs() {
 		byCWE[id] = &Result{CWE: id, Detected: map[string]int{}, FalsePos: map[string]int{}}
 	}
-	for _, c := range Suite() {
+	for i, c := range cases {
 		res := byCWE[c.CWE]
 		if c.Buggy {
 			res.Total++
 		}
-		for _, t := range mk() {
-			c.Run(t)
-			if c.Buggy && t.Detected() {
-				res.Detected[t.Name()]++
+		for name, hit := range verdicts[i].detected {
+			if !hit {
+				continue
 			}
-			if !c.Buggy && t.Detected() {
-				res.FalsePos[t.Name()]++
+			if c.Buggy {
+				res.Detected[name]++
+			} else {
+				res.FalsePos[name]++
 			}
 		}
 	}

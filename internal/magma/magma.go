@@ -24,6 +24,9 @@
 package magma
 
 import (
+	"fmt"
+
+	"giantsan/internal/parallel"
 	"giantsan/internal/report"
 	"giantsan/internal/tool"
 )
@@ -124,32 +127,37 @@ type Result struct {
 func Run(p Project) Result {
 	res := Result{Project: p, Counts: map[string]int{}}
 	for _, cfg := range Configs() {
-		detected := 0
-		// One runtime per (project, config); POCs allocate fresh objects,
-		// so verdicts are independent.
-		t := tool.New(tool.Config{
-			Kind:      cfg.Kind,
-			Redzone:   cfg.Redzone,
-			HeapBytes: heapFor(p, cfg.Redzone),
-		})
-		for _, poc := range pocs(p) {
-			before := t.Log.Total()
-			buf := t.Malloc(poc.objSize)
-			if poc.neighbor > 0 {
-				t.Malloc(poc.neighbor)
-			}
-			if poc.stride > 0 {
-				t.Access(buf, poc.stride, 4, report.Write)
-			} else {
-				t.Access(buf, 0, 4, report.Write) // benign
-			}
-			if t.Log.Total() > before {
-				detected++
-			}
-		}
-		res.Counts[cfg.Name] = detected
+		res.Counts[cfg.Name] = runConfig(p, cfg)
 	}
 	return res
+}
+
+// runConfig runs one project's whole POC corpus under one configuration.
+// One runtime per (project, config); POCs allocate fresh objects, so
+// verdicts are independent.
+func runConfig(p Project, cfg ToolConfig) int {
+	detected := 0
+	t := tool.New(tool.Config{
+		Kind:      cfg.Kind,
+		Redzone:   cfg.Redzone,
+		HeapBytes: heapFor(p, cfg.Redzone),
+	})
+	for _, poc := range pocs(p) {
+		before := t.Log.Total()
+		buf := t.Malloc(poc.objSize)
+		if poc.neighbor > 0 {
+			t.Malloc(poc.neighbor)
+		}
+		if poc.stride > 0 {
+			t.Access(buf, poc.stride, 4, report.Write)
+		} else {
+			t.Access(buf, 0, 4, report.Write) // benign
+		}
+		if t.Log.Total() > before {
+			detected++
+		}
+	}
+	return detected
 }
 
 // heapFor sizes the arena for a project's POC corpus at a redzone setting:
@@ -166,11 +174,31 @@ func heapFor(p Project, rz uint64) uint64 {
 	return small + medium + huge + nonmem + (4 << 20)
 }
 
-// RunAll regenerates the whole table.
+// RunAll regenerates the whole table sequentially.
 func RunAll() []Result {
-	var out []Result
-	for _, p := range Projects() {
-		out = append(out, Run(p))
+	return RunAllOpts(parallel.Options{Workers: 1})
+}
+
+// RunAllOpts shards the project × configuration matrix across the worker
+// pool — each item owns its full runtime — and folds the detection counts
+// back into Table 5 row order, identical at any worker count.
+func RunAllOpts(opts parallel.Options) []Result {
+	ps := Projects()
+	cfgs := Configs()
+	counts, err := parallel.Map(len(ps)*len(cfgs), opts, func(k int) (int, error) {
+		return runConfig(ps[k/len(cfgs)], cfgs[k%len(cfgs)]), nil
+	})
+	if err != nil {
+		// runConfig never fails; only a pool timeout can land here.
+		panic(fmt.Sprintf("magma: %v", err))
+	}
+	out := make([]Result, 0, len(ps))
+	for pi, p := range ps {
+		res := Result{Project: p, Counts: map[string]int{}}
+		for ci, cfg := range cfgs {
+			res.Counts[cfg.Name] = counts[pi*len(cfgs)+ci]
+		}
+		out = append(out, res)
 	}
 	return out
 }

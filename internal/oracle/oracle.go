@@ -9,6 +9,7 @@ package oracle
 
 import (
 	"fmt"
+	"sync"
 
 	"giantsan/internal/vmem"
 )
@@ -62,8 +63,12 @@ type Object struct {
 // End returns one past the last byte of the object.
 func (o *Object) End() vmem.Addr { return o.Base + o.Size }
 
-// Oracle tracks ground truth for one address space.
+// Oracle tracks ground truth for one address space. It is safe for
+// concurrent use: the allocators mirror actions into it from whichever
+// goroutine performs them (thread caches flush concurrently), and the
+// validators read it while other simulated threads keep allocating.
 type Oracle struct {
+	mu      sync.Mutex
 	base    vmem.Addr
 	states  []State
 	objects map[vmem.Addr]*Object // keyed by base address, live and freed
@@ -100,6 +105,8 @@ func (o *Oracle) set(a vmem.Addr, n uint64, s State) {
 // Alloc registers a live object and marks its bytes Live and its redzones
 // Redzone. rzLeft/rzRight may be zero.
 func (o *Oracle) Alloc(base vmem.Addr, size uint64, rzLeft, rzRight uint64, region Region, label string) *Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if prev, ok := o.objects[base]; ok && prev.Live {
 		panic(fmt.Sprintf("oracle: overlapping live allocation at %#x", base))
 	}
@@ -118,6 +125,8 @@ func (o *Oracle) Alloc(base vmem.Addr, size uint64, rzLeft, rzRight uint64, regi
 // Free marks an object's bytes Freed. It returns false when base is not a
 // live allocation (double or invalid free).
 func (o *Oracle) Free(base vmem.Addr) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	obj, ok := o.objects[base]
 	if !ok || !obj.Live {
 		return false
@@ -130,6 +139,8 @@ func (o *Oracle) Free(base vmem.Addr) bool {
 // Recycle marks a previously freed or redzone range Unallocated again, used
 // when the allocator reuses quarantined memory.
 func (o *Oracle) Recycle(base vmem.Addr, size uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.set(base, size, Unallocated)
 	if obj, ok := o.objects[base]; ok && !obj.Live {
 		delete(o.objects, base)
@@ -137,13 +148,19 @@ func (o *Oracle) Recycle(base vmem.Addr, size uint64) {
 }
 
 // StateAt returns the ground-truth state of one byte.
-func (o *Oracle) StateAt(a vmem.Addr) State { return o.states[o.idx(a)] }
+func (o *Oracle) StateAt(a vmem.Addr) State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.states[o.idx(a)]
+}
 
 // Addressable reports whether all n bytes starting at a are Live.
 func (o *Oracle) Addressable(a vmem.Addr, n uint64) bool {
 	if n == 0 {
 		return true
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	start := o.idx(a)
 	_ = o.idx(a + n - 1)
 	for _, s := range o.states[start : start+int(n)] {
@@ -160,6 +177,8 @@ func (o *Oracle) FirstBad(a vmem.Addr, n uint64) (addr vmem.Addr, s State, ok bo
 	if n == 0 {
 		return 0, Unallocated, false
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	start := o.idx(a)
 	_ = o.idx(a + n - 1)
 	for i, st := range o.states[start : start+int(n)] {
@@ -172,6 +191,8 @@ func (o *Oracle) FirstBad(a vmem.Addr, n uint64) (addr vmem.Addr, s State, ok bo
 
 // ObjectAt returns the live object containing address a, or nil.
 func (o *Oracle) ObjectAt(a vmem.Addr) *Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for _, obj := range o.objects {
 		if obj.Live && a >= obj.Base && a < obj.End() {
 			return obj
@@ -181,10 +202,16 @@ func (o *Oracle) ObjectAt(a vmem.Addr) *Object {
 }
 
 // Object returns the object (live or freed) with the given base, or nil.
-func (o *Oracle) Object(base vmem.Addr) *Object { return o.objects[base] }
+func (o *Oracle) Object(base vmem.Addr) *Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.objects[base]
+}
 
 // LiveObjects returns all currently live objects.
 func (o *Oracle) LiveObjects() []*Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var out []*Object
 	for _, obj := range o.objects {
 		if obj.Live {

@@ -1,0 +1,158 @@
+// Package parallel implements the bounded worker pool that shards the
+// evaluation matrices (kernel × sanitizer × repetition, corpus case ×
+// tool, ...) across CPUs.
+//
+// The pool's contract is the one the experiment drivers need:
+//
+//   - shared-nothing items: fn must build everything it touches (each
+//     bench item constructs its own runtime — space, shadow, heap, stack —
+//     so items interact only through the machine, like SPEC rate copies);
+//   - deterministic merge: results are returned ordered by item index,
+//     never by completion order, and the reported error is the one with
+//     the lowest index, so output is identical at any worker count;
+//   - a timeout guard: a hung item fails the run instead of wedging it.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress is one progress snapshot, delivered after each completed item.
+type Progress struct {
+	Done, Total int
+	Elapsed     time.Duration
+	// ETA is the projected remaining time, extrapolated from the mean
+	// per-item time so far. Zero until the first item completes.
+	ETA time.Duration
+}
+
+// Options configures one pool run.
+type Options struct {
+	// Workers bounds concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout guards a single item. When an item exceeds it, the item
+	// fails with a timeout error and its goroutine is abandoned (the
+	// worker slot moves on) — a hung kernel cannot wedge the run. Zero
+	// disables the guard.
+	Timeout time.Duration
+	// OnProgress, when non-nil, is called after every completed item.
+	// Calls are serialized and Done is monotone.
+	OnProgress func(Progress)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn for every index in [0, n) across the worker pool and
+// returns the n results ordered by index. All items run regardless of
+// individual failures; the returned error is the failure with the lowest
+// index (deterministic at any worker count). The partial result slice is
+// returned even on error — slots of failed items hold the zero value.
+func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	start := time.Now()
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	finish := func(i int, v T, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = v
+		errs[i] = err
+		done++
+		if opts.OnProgress != nil {
+			p := Progress{Done: done, Total: n, Elapsed: time.Since(start)}
+			p.ETA = p.Elapsed / time.Duration(done) * time.Duration(n-done)
+			opts.OnProgress(p)
+		}
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, err := runOne(i, opts.Timeout, fn)
+				finish(i, v, err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("item %d/%d: %w", i, n, err)
+		}
+	}
+	return results, nil
+}
+
+// ForEach is Map for item functions with no result value.
+func ForEach(n int, opts Options, fn func(i int) error) error {
+	_, err := Map(n, opts, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Printer returns an OnProgress callback that writes throttled
+// "label: done/total (pct) elapsed e eta t" lines to w: at most one line
+// per interval, plus always the final (done == total) line. Map serializes
+// OnProgress calls, so the callback needs no locking of its own.
+func Printer(w io.Writer, label string, interval time.Duration) func(Progress) {
+	last := time.Now()
+	return func(p Progress) {
+		now := time.Now()
+		if p.Done < p.Total && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "%s: %d/%d (%.1f%%) elapsed %s eta %s\n",
+			label, p.Done, p.Total, 100*float64(p.Done)/float64(p.Total),
+			p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+	}
+}
+
+// runOne applies the timeout guard around one item.
+func runOne[T any](i int, timeout time.Duration, fn func(int) (T, error)) (T, error) {
+	if timeout <= 0 {
+		return fn(i)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := fn(i)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-time.After(timeout):
+		var zero T
+		return zero, fmt.Errorf("timed out after %v", timeout)
+	}
+}

@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(100, Options{Workers: workers}, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	boom := errors.New("boom")
+	// Items 7, 3 and 42 fail; whatever the completion order, the
+	// reported failure must be item 3.
+	for run := 0; run < 20; run++ {
+		_, err := Map(64, Options{Workers: 8}, func(i int) (struct{}, error) {
+			if i == 7 || i == 3 || i == 42 {
+				return struct{}{}, boom
+			}
+			return struct{}{}, nil
+		})
+		if err == nil || !strings.HasPrefix(err.Error(), "item 3/64") {
+			t.Fatalf("run %d: err = %v, want item 3/64 failure", run, err)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("error cause lost: %v", err)
+		}
+	}
+}
+
+func TestMapRunsAllItemsDespiteFailures(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(50, Options{Workers: 4}, func(i int) (struct{}, error) {
+		ran.Add(1)
+		if i%2 == 0 {
+			return struct{}{}, errors.New("even")
+		}
+		return struct{}{}, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d items, want all 50", ran.Load())
+	}
+}
+
+func TestTimeoutFailsHungItem(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	start := time.Now()
+	_, err := Map(4, Options{Workers: 2, Timeout: 50 * time.Millisecond}, func(i int) (int, error) {
+		if i == 1 {
+			<-hang // a wedged kernel
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if !strings.HasPrefix(err.Error(), "item 1/4") {
+		t.Fatalf("err = %v, want item 1 blamed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run wedged for %v despite timeout", elapsed)
+	}
+}
+
+func TestProgressMonotoneAndComplete(t *testing.T) {
+	var snaps []Progress
+	err := ForEach(20, Options{Workers: 5, OnProgress: func(p Progress) {
+		snaps = append(snaps, p) // serialized by the pool
+	}}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 20 {
+		t.Fatalf("got %d progress calls, want 20", len(snaps))
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 || p.Total != 20 {
+			t.Fatalf("snapshot %d: %+v not monotone", i, p)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	got, err := Map(0, Options{}, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestPrinterThrottlesAndFinishes(t *testing.T) {
+	var buf strings.Builder
+	// Zero interval: every snapshot prints; the final line must show n/n.
+	p := Printer(&buf, "exp", 0)
+	if _, err := Map(8, Options{Workers: 2, OnProgress: p}, func(i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[7], "exp: 8/8 (100.0%)") {
+		t.Errorf("final line = %q", lines[7])
+	}
+
+	// A huge interval suppresses everything except the final line.
+	buf.Reset()
+	p = Printer(&buf, "exp", time.Hour)
+	if _, err := Map(8, Options{Workers: 2, OnProgress: p}, func(i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "8/8") {
+		t.Errorf("throttled output = %q, want single final line", buf.String())
+	}
+}

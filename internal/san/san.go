@@ -126,6 +126,44 @@ func (s *Stats) Add(other *Stats) {
 // Reset zeroes all counters.
 func (s *Stats) Reset() { *s = Stats{} }
 
+// Sub returns the counter-wise difference s − other, for deltas between
+// two snapshots taken around a run.
+func (s *Stats) Sub(other *Stats) Stats {
+	return Stats{
+		Checks:       s.Checks - other.Checks,
+		ShadowLoads:  s.ShadowLoads - other.ShadowLoads,
+		FastChecks:   s.FastChecks - other.FastChecks,
+		SlowChecks:   s.SlowChecks - other.SlowChecks,
+		CacheHits:    s.CacheHits - other.CacheHits,
+		CacheRefills: s.CacheRefills - other.CacheRefills,
+		RangeChecks:  s.RangeChecks - other.RangeChecks,
+		Errors:       s.Errors - other.Errors,
+	}
+}
+
+// Clone returns an independent copy of the counters. Callers that hold a
+// live *Stats from Sanitizer.Stats must clone before handing the snapshot
+// to another goroutine: the sanitizer keeps mutating its own counters.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	return &c
+}
+
+// Merge folds the given snapshots into one fresh aggregate, in argument
+// order. Nil entries are skipped, so per-item slots of a partially failed
+// parallel run can be merged directly. Counter addition is commutative,
+// but the experiment drivers still merge in matrix order so that any
+// future order-sensitive field keeps the deterministic-output contract.
+func Merge(parts ...*Stats) *Stats {
+	out := &Stats{}
+	for _, p := range parts {
+		if p != nil {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
 // PassCache is the no-op history cache used by sanitizers without
 // quasi-bound support: every access degrades to a plain anchored check.
 type PassCache struct {

@@ -212,3 +212,11 @@ func (h *Harness) Stats() *san.Stats { return h.san.Stats() }
 
 // Elements returns the number of elements visited per pass.
 func (h *Harness) Elements() uint64 { return h.n }
+
+// SanStats exposes the live sanitizer counters of the harness runtime, so
+// the figure driver can derive hardware-independent virtual timings (per-
+// pass check and metadata-load counts) alongside the wall clock.
+func (h *Harness) SanStats() *san.Stats { return h.san.Stats() }
+
+// Elems returns the number of 4-byte elements one pass visits.
+func (h *Harness) Elems() uint64 { return h.n }
