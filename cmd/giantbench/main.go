@@ -7,7 +7,13 @@
 //	giantbench -exp ablation
 //	giantbench -exp fig10
 //	giantbench -exp fig11
+//	giantbench -exp hotpath [-hotpath-out BENCH_hotpath.json]
 //	giantbench -exp all
+//
+// -hotpath is shorthand for -exp hotpath: it microbenchmarks the checker
+// hot paths (ns/check and shadow-loads/check per sanitizer × access shape,
+// including the reference-path rows the speedup is measured against) and
+// writes BENCH_hotpath.json.
 //
 // Engine flags:
 //
@@ -36,19 +42,26 @@ import (
 	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/bench/hotpath"
 	"giantsan/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
+	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath report")
+	hotpathPasses := flag.Int("hotpath-passes", 0, "passes per hotpath shape; 0 = default")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (table2, ablation, fig10)")
 	par := flag.Int("parallel", 0, "matrix worker count; 0 = GOMAXPROCS")
 	timeout := flag.Duration("timeout", 0, "per-item timeout guard; 0 disables")
 	clock := flag.String("clock", "virtual", "timing source: virtual (deterministic cost model) or wall")
 	quiet := flag.Bool("quiet", false, "suppress progress/ETA lines on stderr")
 	flag.Parse()
+	if *hotpathFlag {
+		*exp = "hotpath"
+	}
 
 	if *clock != "virtual" && *clock != "wall" {
 		fmt.Fprintf(os.Stderr, "giantbench: -clock must be virtual or wall, got %q\n", *clock)
@@ -130,6 +143,32 @@ func main() {
 		}
 		fmt.Println("Quarantine-bypass study (§5.4) — dangling-pointer detection vs budget")
 		fmt.Println(bench.RenderQuarantine(rows))
+		return nil
+	})
+	run("hotpath", func() error {
+		rep, err := hotpath.Run(*hotpathPasses)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*hotpathOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *asJSON {
+			return emitJSON(rep)
+		}
+		fmt.Println("Hot-path microbenchmark — ns/check and shadow-loads/check per sanitizer × shape")
+		fmt.Println(hotpath.Render(rep))
+		fmt.Printf("(written to %s)\n", *hotpathOut)
 		return nil
 	})
 	run("fig11", func() error {

@@ -37,6 +37,10 @@ type Sanitizer struct {
 	// name lets the same runtime serve as both "asan" and "asan--"
 	// (ASan-- differs only in which checks the instrumentation emits).
 	name string
+	// ref routes checks through the reference (pre-optimization)
+	// implementations; the differential suites prove both paths
+	// observably identical.
+	ref bool
 }
 
 // New returns an ASan instance over sp; the whole space starts poisoned as
@@ -62,6 +66,12 @@ func (a *Sanitizer) Stats() *san.Stats { return &a.stats }
 
 // Shadow exposes the shadow memory for tests and tools.
 func (a *Sanitizer) Shadow() *shadow.Memory { return a.sh }
+
+// SetReference implements san.ReferencePath.
+func (a *Sanitizer) SetReference(on bool) { a.ref = on }
+
+// Reference implements san.ReferencePath.
+func (a *Sanitizer) Reference() bool { return a.ref }
 
 func (a *Sanitizer) load(p vmem.Addr) uint8 {
 	a.stats.ShadowLoads++
@@ -148,10 +158,11 @@ func (a *Sanitizer) nullOrWild(p vmem.Addr, w uint64, t report.AccessType) *repo
 	return &report.Error{Kind: kind, Access: t, Addr: p, Size: w, Detector: a.name}
 }
 
-// checkSeg verifies that the bytes [off, off+n) of the segment holding p
-// are addressable, where off = p mod 8.
-func (a *Sanitizer) checkSeg(p vmem.Addr, n uint64, t report.AccessType) *report.Error {
-	v := a.load(p)
+// checkSegCode delivers the verdict for the already-loaded code v of the
+// segment holding p, for the bytes [off, off+n) with off = p mod 8.
+// Loading (and load counting) is the caller's job, so the fast paths can
+// feed it codes from wide or raw loads without double-counting.
+func (a *Sanitizer) checkSegCode(v uint8, p vmem.Addr, n uint64, t report.AccessType) *report.Error {
 	if v == CodeGood {
 		return nil
 	}
@@ -167,7 +178,14 @@ func (a *Sanitizer) checkSeg(p vmem.Addr, n uint64, t report.AccessType) *report
 	return a.fault(bad, n, v, t)
 }
 
-// CheckAccess implements ASan's instruction-level check (Example 1):
+// checkSeg verifies that the bytes [off, off+n) of the segment holding p
+// are addressable, where off = p mod 8.
+func (a *Sanitizer) checkSeg(p vmem.Addr, n uint64, t report.AccessType) *report.Error {
+	return a.checkSegCode(a.load(p), p, n, t)
+}
+
+// CheckAccessRef is the reference implementation of ASan's
+// instruction-level check (Example 1):
 //
 //	int8_t v = m[p / 8];
 //	if (v != 0 && (p & 7) + w > v) ReportError(p, w);
@@ -175,7 +193,10 @@ func (a *Sanitizer) checkSeg(p vmem.Addr, n uint64, t report.AccessType) *report
 // Accesses that straddle a segment boundary (which naturally-aligned
 // compiler-generated accesses never do) are handled soundly with a second
 // load, matching ASan's slow-path region routine.
-func (a *Sanitizer) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+//
+// This is the pre-optimization path, kept for the differential suites; the
+// specialized CheckAccess must stay observably identical to it.
+func (a *Sanitizer) CheckAccessRef(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
 	a.stats.Checks++
 	if w == 0 {
 		return nil
@@ -193,11 +214,45 @@ func (a *Sanitizer) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *rep
 	return a.checkRangeAligned(p+first, p+vmem.Addr(w), t)
 }
 
-// CheckRange is ASan's linear guardian (the routine backing the interceptors
-// for memset, memcpy, strcpy, ...): it loads one shadow byte per segment,
-// Θ((r−l)/8) metadata loads. This linear cost is the baseline GiantSan's
-// O(1) CI replaces.
-func (a *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Error {
+// CheckAccess is the specialized instruction-level check: one bounds
+// comparison pair, one raw shadow load and one compare-to-zero on the
+// common (intra-segment, fully good) case. Verdicts, reports and Stats are
+// identical to CheckAccessRef.
+func (a *Sanitizer) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	if a.ref {
+		return a.CheckAccessRef(p, w, t)
+	}
+	a.stats.Checks++
+	if w == 0 {
+		return nil
+	}
+	base := a.sh.Base()
+	units := a.sh.Raw()
+	last := (p + vmem.Addr(w) - 1 - base) >> shadow.SegShift
+	if p < base || last >= vmem.Addr(len(units)) {
+		return a.nullOrWild(p, w, t)
+	}
+	first := 8 - (p & 7)
+	if vmem.Addr(w) <= first {
+		a.stats.ShadowLoads++
+		v := units[(p-base)>>shadow.SegShift]
+		if v == CodeGood {
+			return nil
+		}
+		return a.checkSegCode(v, p, w, t)
+	}
+	a.stats.ShadowLoads++
+	if err := a.checkSegCode(units[(p-base)>>shadow.SegShift], p, uint64(first), t); err != nil {
+		return err
+	}
+	return a.checkRangeAlignedFast(p+first, p+vmem.Addr(w), t)
+}
+
+// CheckRangeRef is the reference implementation of ASan's linear guardian
+// (the routine backing the interceptors for memset, memcpy, strcpy, ...):
+// it loads one shadow byte per segment, Θ((r−l)/8) metadata loads. This
+// linear cost is the baseline GiantSan's O(1) CI replaces.
+func (a *Sanitizer) CheckRangeRef(l, r vmem.Addr, t report.AccessType) *report.Error {
 	a.stats.Checks++
 	a.stats.RangeChecks++
 	if l >= r {
@@ -220,11 +275,85 @@ func (a *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 	return a.checkRangeAligned(l, r, t)
 }
 
-// checkRangeAligned scans [l, r) with l segment-aligned.
+// CheckRange is the specialized linear guardian: the mid-range scan goes 8
+// segments at a time through one 64-bit wide shadow load (a zero word is 8
+// fully addressable segments), falling back to the per-segment walk only
+// around a non-zero word. Stats still count one conceptual metadata load
+// per segment examined — the paper's cost model — so the guardian stays
+// Θ((r−l)/8) in ShadowLoads while the wall clock drops; verdicts, reports
+// and counters are identical to CheckRangeRef.
+func (a *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Error {
+	if a.ref {
+		return a.CheckRangeRef(l, r, t)
+	}
+	a.stats.Checks++
+	a.stats.RangeChecks++
+	if l >= r {
+		return nil
+	}
+	base := a.sh.Base()
+	units := a.sh.Raw()
+	if l < base || (r-1-base)>>shadow.SegShift >= vmem.Addr(len(units)) {
+		return a.nullOrWild(l, r-l, t)
+	}
+	// Unaligned head.
+	if off := l & 7; off != 0 {
+		headEnd := min(r, l+(8-off))
+		a.stats.ShadowLoads++
+		if err := a.checkSegCode(units[(l-base)>>shadow.SegShift], l, uint64(headEnd-l), t); err != nil {
+			return err
+		}
+		l = headEnd
+		if l >= r {
+			return nil
+		}
+	}
+	return a.checkRangeAlignedFast(l, r, t)
+}
+
+// checkRangeAligned scans [l, r) with l segment-aligned (reference path).
 func (a *Sanitizer) checkRangeAligned(l, r vmem.Addr, t report.AccessType) *report.Error {
 	for p := l; p < r; p += 8 {
 		n := min(vmem.Addr(8), r-p)
 		if err := a.checkSeg(p, uint64(n), t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRangeAlignedFast scans [l, r) with l segment-aligned, 8 segments per
+// wide load. Bounds were established by the caller.
+func (a *Sanitizer) checkRangeAlignedFast(l, r vmem.Addr, t report.AccessType) *report.Error {
+	base := a.sh.Base()
+	units := a.sh.Raw()
+	p := l
+	for r-p >= 8*shadow.SegSize {
+		seg := int((p - base) >> shadow.SegShift)
+		if a.sh.LoadWide(seg) == 0 {
+			// 8 fully good segments; bill the 8 conceptual loads the
+			// reference path would have made.
+			a.stats.ShadowLoads += shadow.WideSegs
+			p += 8 * shadow.SegSize
+			continue
+		}
+		// Some segment in this word is not plainly good: replay the
+		// reference walk over the word so the first-bad-byte report and
+		// the load count match it exactly.
+		for q := p; q < p+8*shadow.SegSize; q += 8 {
+			a.stats.ShadowLoads++
+			v := units[(q-base)>>shadow.SegShift]
+			if v == CodeGood {
+				continue
+			}
+			return a.checkSegCode(v, q, 8, t)
+		}
+		p += 8 * shadow.SegSize
+	}
+	for ; p < r; p += 8 {
+		n := min(vmem.Addr(8), r-p)
+		a.stats.ShadowLoads++
+		if err := a.checkSegCode(units[(p-base)>>shadow.SegShift], p, uint64(n), t); err != nil {
 			return err
 		}
 	}
@@ -243,5 +372,6 @@ func (a *Sanitizer) CheckAnchored(anchor, p vmem.Addr, w uint64, t report.Access
 }
 
 // NewCache implements san.Sanitizer: ASan has no history caching, so every
-// "cached" access pays a full check.
-func (a *Sanitizer) NewCache() san.Cache { return san.PassCache{S: a} }
+// "cached" access pays a full check; Finish still replays the loop-exit
+// hazard check (see san.PassCache).
+func (a *Sanitizer) NewCache() san.Cache { return &san.PassCache{S: a} }

@@ -1,0 +1,90 @@
+package asan
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+)
+
+// TestPassCacheFinishCatchesMidLoopFree is the regression test for the
+// loop-exit hazard (§4.3) in non-caching sanitizers: a loop checks its
+// accesses, the object is freed mid-loop, no further accesses happen — the
+// per-access checks all passed, so only the Finish re-validation can report
+// the use-after-free. The old PassCache.Finish was a no-op and silently
+// passed this trace, under-reporting versus GiantSan's boundCache.
+func TestPassCacheFinishCatchesMidLoopFree(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 64)
+
+	c := a.NewCache()
+	for off := int64(0); off < 64; off += 8 {
+		if err := c.CheckCached(base, off, 8, report.Read); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+	}
+	// The object is freed while the loop still holds its cached extent.
+	a.Poison(base, 64, san.HeapFreed)
+	err := c.Finish(base, report.Read)
+	if err == nil {
+		t.Fatal("Finish passed after a mid-loop free")
+	}
+	if err.Kind != report.UseAfterFree {
+		t.Fatalf("Finish reported %v, want use-after-free", err.Kind)
+	}
+}
+
+// TestPassCacheFinishResets: a Finish consumes the tracked extent, so a
+// second Finish (and a Finish after an anchor change) is a no-op.
+func TestPassCacheFinishResets(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 64)
+	other := base + 4096
+	mark(a, other, 32)
+
+	c := a.NewCache()
+	if err := c.CheckCached(base, 0, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finish(base, report.Read); err != nil {
+		t.Fatalf("live object Finish failed: %v", err)
+	}
+	a.Poison(base, 64, san.HeapFreed)
+	if err := c.Finish(base, report.Read); err != nil {
+		t.Fatalf("second Finish re-used consumed state: %v", err)
+	}
+	// Anchor reassignment invalidates the tracked extent.
+	if err := c.CheckCached(base+8, 0, 8, report.Read); err == nil {
+		t.Fatal("access to freed object passed")
+	}
+	if err := c.CheckCached(other, 0, 8, report.Read); err != nil {
+		t.Fatal(err)
+	}
+	a.Poison(base, 64, san.HeapFreed)
+	if err := c.Finish(other, report.Read); err != nil {
+		t.Fatalf("Finish of live anchor failed: %v", err)
+	}
+}
+
+// TestPassCacheStillChecksEverything: the fix adds the exit check but must
+// not add caching — every access still pays a full check (CacheHits = 0).
+func TestPassCacheStillChecksEverything(t *testing.T) {
+	sp, a := newSan(t)
+	base := sp.Base() + 1024
+	mark(a, base, 256)
+	c := a.NewCache()
+	a.Stats().Reset()
+	for off := int64(0); off < 256; off += 8 {
+		if err := c.CheckCached(base, off, 8, report.Read); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+	}
+	if a.Stats().CacheHits != 0 {
+		t.Errorf("PassCache produced %d cache hits; ASan must not cache", a.Stats().CacheHits)
+	}
+	if a.Stats().Checks != 32 {
+		t.Errorf("checks = %d, want 32 (one per access)", a.Stats().Checks)
+	}
+}

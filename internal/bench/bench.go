@@ -81,7 +81,7 @@ func newRuntime(cfg SanConfig, w *workload.Workload, scale int) rt.Runtime {
 	if cfg.IsLFP {
 		return lfp.New(lfp.Config{HeapBytes: heapBytes * 2, MaxClass: 1 << 20})
 	}
-	return rt.New(rt.Config{Kind: cfg.Kind, HeapBytes: heapBytes})
+	return rt.New(rt.Config{Kind: cfg.Kind, HeapBytes: heapBytes, Reference: cfg.Profile.Reference})
 }
 
 // RunOnce executes one (workload, config) pair once and returns the wall

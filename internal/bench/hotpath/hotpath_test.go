@@ -1,0 +1,95 @@
+package hotpath
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunProducesFullMatrix smoke-tests the driver: every configured
+// sanitizer must produce a row for every shape, with sane counters, and
+// both specialized/reference pairs must yield speedup entries.
+func TestRunProducesFullMatrix(t *testing.T) {
+	rep, err := Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(Configs()) * len(Shapes())
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), wantRows)
+	}
+	for _, r := range rep.Rows {
+		if r.Checks == 0 {
+			t.Errorf("%s/%s performed no checks", r.Sanitizer, r.Shape)
+		}
+		if r.Sanitizer != "lfp" && r.ShadowLoadsPerCheck == 0 && r.Shape != "anchored-stride" {
+			t.Errorf("%s/%s counted no shadow loads", r.Sanitizer, r.Shape)
+		}
+	}
+	for _, base := range []string{"giantsan", "asan"} {
+		for _, sh := range Shapes() {
+			if _, ok := rep.Speedup[base+"/"+sh.Name]; !ok {
+				t.Errorf("missing speedup entry for %s/%s", base, sh.Name)
+			}
+		}
+	}
+}
+
+// TestShadowLoadParity asserts the core fast-path contract at benchmark
+// scale: for each shadow sanitizer, the specialized and reference rows of
+// every shape agree exactly on checks and shadow loads per pass.
+func TestShadowLoadParity(t *testing.T) {
+	rep, err := Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ san, shape string }
+	rows := map[key]Row{}
+	for _, r := range rep.Rows {
+		rows[key{r.Sanitizer, r.Shape}] = r
+	}
+	for _, base := range []string{"giantsan", "asan"} {
+		for _, sh := range Shapes() {
+			fast := rows[key{base, sh.Name}]
+			ref := rows[key{base + "-ref", sh.Name}]
+			if fast.Checks != ref.Checks {
+				t.Errorf("%s/%s: fast path ran %d checks, reference %d", base, sh.Name, fast.Checks, ref.Checks)
+			}
+			if fast.ShadowLoadsPerCheck != ref.ShadowLoadsPerCheck {
+				t.Errorf("%s/%s: fast path %v loads/check, reference %v",
+					base, sh.Name, fast.ShadowLoadsPerCheck, ref.ShadowLoadsPerCheck)
+			}
+		}
+	}
+}
+
+// BenchmarkHotpath runs every (sanitizer, shape) pair under the standard
+// Go benchmark harness; b.N counts passes over the 64 KiB object.
+func BenchmarkHotpath(b *testing.B) {
+	for _, cfg := range Configs() {
+		for _, sh := range Shapes() {
+			b.Run(fmt.Sprintf("%s/%s", cfg.Label, sh.Name), func(b *testing.B) {
+				env, err := cfg.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				base, err := env.Malloc(ObjBytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := env.San()
+				before := s.Stats().Clone()
+				if err := sh.Run(s, base); err != nil {
+					b.Fatalf("%s/%s reported %v on a live object", cfg.Label, sh.Name, err)
+				}
+				checks := s.Stats().Sub(before).Checks
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sh.Run(s, base); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(checks), "ns/check")
+			})
+		}
+	}
+}

@@ -68,7 +68,7 @@ func (c *boundCache) refill(anchor vmem.Addr, end uint64) {
 		return
 	}
 	v := c.g.load(p)
-	u := SummaryBytes(v)
+	u := summaryTab[v]
 	segStartOff := (end - 1) &^ 7 // anchor is 8-aligned, so this is the
 	// offset of the segment containing the last checked byte
 	nb := segStartOff + u

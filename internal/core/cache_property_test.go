@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"giantsan/internal/heap"
+	"giantsan/internal/oracle"
+	"giantsan/internal/report"
+	"giantsan/internal/vmem"
+)
+
+// The quasi-bound property suite (§4.3): drive boundCache through
+// randomized but seeded alloc/free interleavings — including the loop-exit
+// hazard, where the anchor's object is deallocated in the middle of a loop
+// that still holds a cached bound — and compare every verdict against the
+// byte-granular oracle.
+//
+// Three properties, checked on every trial:
+//
+//  1. No false positives: while the anchor's object is live, an access the
+//     oracle calls fully addressable (the whole anchored prefix) never
+//     errors, and Finish of an untouched loop passes.
+//  2. Per-access soundness while live: an access whose own bytes the
+//     oracle rejects must error (the anchored discipline checks the
+//     access's bytes no matter what the bound says).
+//  3. Deferred soundness (the §4.3 hazard): if the anchor's object is
+//     freed mid-loop, the loop must not end silently — some per-access
+//     check or the loop-exit Finish must report the violation, even when
+//     every post-free access landed below the stale quasi-bound.
+type propertyEnv struct {
+	g *Sanitizer
+	h *heap.Allocator
+	o *oracle.Oracle
+}
+
+func newPropertyEnv() *propertyEnv {
+	sp := vmem.NewSpace(1 << 20)
+	g := New(sp)
+	o := oracle.New(sp)
+	h := heap.New(sp, g, heap.Config{
+		Oracle: o,
+		Start:  sp.Base(),
+		Limit:  sp.Limit(),
+	})
+	return &propertyEnv{g: g, h: h, o: o}
+}
+
+func TestCachePropertyRandomInterleavings(t *testing.T) {
+	const trials = 300
+	for seed := int64(1); seed <= trials; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		env := newPropertyEnv()
+
+		// A small population of live objects.
+		type obj struct {
+			base vmem.Addr
+			size uint64
+			live bool
+		}
+		nObjs := 3 + rng.Intn(5)
+		objs := make([]*obj, 0, nObjs)
+		for i := 0; i < nObjs; i++ {
+			size := uint64(8 + rng.Intn(512))
+			p, err := env.h.Malloc(size)
+			if err != nil {
+				t.Fatalf("seed %d: malloc: %v", seed, err)
+			}
+			objs = append(objs, &obj{base: p, size: size, live: true})
+		}
+
+		anchorObj := objs[rng.Intn(len(objs))]
+		anchor := anchorObj.base
+		const w = 8
+		// Walk up to one stride past the object so overflow trials mix in.
+		steps := int64(anchorObj.size/w) + int64(rng.Intn(2))
+		if steps == 0 {
+			steps = 1
+		}
+		freeAt := int64(rng.Intn(int(steps) + 1))
+		victim := objs[rng.Intn(len(objs))]
+
+		cache := env.g.NewCache()
+		sawErr := false
+		anchorFreed := false
+		for i := int64(0); i < steps; i++ {
+			if i == freeAt && victim.live {
+				if err := env.h.Free(victim.base); err != nil {
+					t.Fatalf("seed %d: free: %v", seed, err)
+				}
+				victim.live = false
+				if victim == anchorObj {
+					anchorFreed = true
+				}
+			}
+			off := i * w
+			prefixOK := env.o.Addressable(anchor, uint64(off)+w)
+			accessOK := env.o.Addressable(anchor+vmem.Addr(off), w)
+			err := cache.CheckCached(anchor, off, w, report.Read)
+			if err != nil {
+				sawErr = true
+			}
+			if prefixOK && err != nil {
+				t.Fatalf("seed %d: false positive at off %d: %v (oracle: prefix addressable)", seed, off, err)
+			}
+			if !anchorFreed && !accessOK && err == nil {
+				t.Fatalf("seed %d: missed live-object violation at off %d (oracle rejects the access)", seed, off)
+			}
+		}
+		ferr := cache.Finish(anchor, report.Read)
+		if ferr != nil {
+			sawErr = true
+		}
+		if !anchorFreed && env.o.Addressable(anchor, anchorObj.size) && ferr != nil {
+			t.Fatalf("seed %d: Finish false positive on live anchor: %v", seed, ferr)
+		}
+		if anchorFreed && !sawErr {
+			t.Fatalf("seed %d: anchor freed at step %d of %d and the loop ended silently (ub hazard missed)",
+				seed, freeAt, steps)
+		}
+	}
+}
+
+// TestCachePropertyHazardWindow pins the pure hazard shape: every access
+// lands below the already-established quasi-bound, the object is freed
+// after the bound was cached, and no further check loads metadata — only
+// Finish can catch it. This must hold for every object size the refill
+// logic treats differently (folded degrees and partial tails).
+func TestCachePropertyHazardWindow(t *testing.T) {
+	for _, size := range []uint64{16, 24, 64, 100, 256, 1000} {
+		env := newPropertyEnv()
+		p, err := env.h.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := env.g.NewCache()
+		// First pass: establish the bound over the whole object.
+		for off := int64(0); off+8 <= int64(size); off += 8 {
+			if err := cache.CheckCached(p, off, 8, report.Read); err != nil {
+				t.Fatalf("size %d off %d: %v", size, off, err)
+			}
+		}
+		if err := env.h.Free(p); err != nil {
+			t.Fatalf("size %d: free: %v", size, err)
+		}
+		// Second pass, entirely below the cached bound: every access rides
+		// the stale quasi-bound without touching metadata.
+		for off := int64(0); off+8 <= int64(size); off += 8 {
+			if err := cache.CheckCached(p, off, 8, report.Read); err != nil {
+				t.Fatalf("size %d off %d: expected silent stale-bound pass, got %v", size, off, err)
+			}
+		}
+		ferr := cache.Finish(p, report.Read)
+		if ferr == nil {
+			t.Fatalf("size %d: Finish missed the mid-loop free", size)
+		}
+		if ferr.Kind != report.UseAfterFree {
+			t.Fatalf("size %d: Finish reported %v, want use-after-free", size, ferr.Kind)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// The differential suite proves the specialized CheckRange/CheckAccess
+// (fastpath.go) observably identical to the reference implementations
+// (CheckRangeRef): two sanitizer instances over identically shaped spaces
+// are driven through the same shadow scenarios, then every (l, r) pair in
+// the scenario window is checked under both paths. Verdict, error report
+// and every Stats counter must agree at every step.
+
+// diffScenario reshapes the arena around base into one reachable shadow
+// state.
+type diffScenario struct {
+	name  string
+	apply func(g *Sanitizer, base vmem.Addr)
+}
+
+// diffObject builds a heap-like object at base: left redzone, folded
+// segments, partial tail, right redzone — exactly what heap.Malloc does.
+func diffObject(g *Sanitizer, base vmem.Addr, size uint64) {
+	reserved := (size + 7) &^ 7
+	g.Poison(base-16, 16, san.RedzoneLeft)
+	g.MarkAllocated(base, size)
+	g.Poison(base+vmem.Addr(reserved), 16, san.RedzoneRight)
+}
+
+func diffScenarios() []diffScenario {
+	var ss []diffScenario
+	ss = append(ss, diffScenario{"unallocated", func(g *Sanitizer, base vmem.Addr) {}})
+	// Object sizes crossing every folding degree in the window and every
+	// partial tail k ∈ 1..7.
+	for _, size := range []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 23, 24, 31, 32, 33, 63, 64, 65, 100, 127, 128, 129, 200} {
+		size := size
+		ss = append(ss, diffScenario{name: "obj-" + itoa(size), apply: func(g *Sanitizer, base vmem.Addr) {
+			diffObject(g, base, size)
+		}})
+	}
+	ss = append(ss,
+		diffScenario{"freed", func(g *Sanitizer, base vmem.Addr) {
+			diffObject(g, base, 96)
+			g.Poison(base, 96, san.HeapFreed)
+		}},
+		diffScenario{"freed-realloc-smaller", func(g *Sanitizer, base vmem.Addr) {
+			diffObject(g, base, 96)
+			g.Poison(base, 96, san.HeapFreed)
+			g.MarkAllocated(base, 29)
+		}},
+		diffScenario{"adjacent-objects", func(g *Sanitizer, base vmem.Addr) {
+			diffObject(g, base, 24)
+			diffObject(g, base+64, 45)
+		}},
+		diffScenario{"stack-retired", func(g *Sanitizer, base vmem.Addr) {
+			diffObject(g, base, 40)
+			g.Poison(base, 40, san.StackAfterReturn)
+		}},
+	)
+	return ss
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// sameError compares the externally observable report fields.
+func sameError(a, b *report.Error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Kind == b.Kind && a.Access == b.Access && a.Addr == b.Addr &&
+		a.Size == b.Size && a.Detector == b.Detector
+}
+
+// diffPair returns fast- and reference-path sanitizers over equally shaped
+// spaces, plus the scenario base address.
+func diffPair(size uint64) (fast, ref *Sanitizer, base vmem.Addr) {
+	spF := vmem.NewSpace(size)
+	spR := vmem.NewSpace(size)
+	fast = New(spF)
+	ref = New(spR)
+	ref.SetReference(true)
+	if fast.Reference() || !ref.Reference() {
+		panic("reference-path toggle broken")
+	}
+	return fast, ref, spF.Base() + 512
+}
+
+func runDiffSweep(t *testing.T, sc diffScenario, lLo, lHi, maxLen vmem.Addr) {
+	t.Helper()
+	fast, ref, base := diffPair(1 << 13)
+	sc.apply(fast, base)
+	sc.apply(ref, base)
+
+	for l := lLo; l <= lHi; l++ {
+		for r := l; r <= l+maxLen; r++ {
+			errF := fast.CheckRange(l, r, report.Read)
+			errR := ref.CheckRange(l, r, report.Read)
+			if !sameError(errF, errR) {
+				t.Fatalf("%s: CheckRange(%#x,%#x) fast=%v ref=%v", sc.name, l, r, errF, errR)
+			}
+			if *fast.Stats() != *ref.Stats() {
+				t.Fatalf("%s: stats diverged after CheckRange(%#x,%#x): fast=%+v ref=%+v",
+					sc.name, l, r, *fast.Stats(), *ref.Stats())
+			}
+		}
+	}
+	// Instruction-level widths, including straddling and w > 8.
+	for _, w := range []uint64{1, 2, 3, 4, 5, 7, 8, 9, 16} {
+		for p := lLo; p <= lHi; p++ {
+			errF := fast.CheckAccess(p, w, report.Write)
+			errR := ref.CheckAccessRef(p, w, report.Write)
+			if !sameError(errF, errR) {
+				t.Fatalf("%s: CheckAccess(%#x,%d) fast=%v ref=%v", sc.name, p, w, errF, errR)
+			}
+		}
+	}
+	if *fast.Stats() != *ref.Stats() {
+		t.Fatalf("%s: final stats diverged: fast=%+v ref=%+v", sc.name, *fast.Stats(), *ref.Stats())
+	}
+}
+
+// TestDifferentialCheckRangeExhaustive sweeps every (l, r) pair around the
+// scenario objects, starting below the left redzone (including addresses
+// below the space base, which must classify as null/wild identically).
+func TestDifferentialCheckRangeExhaustive(t *testing.T) {
+	for _, sc := range diffScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			_, _, base := diffPair(1 << 13)
+			runDiffSweep(t, sc, base-24, base+256, 96)
+		})
+	}
+}
+
+// TestDifferentialSpaceEdges sweeps windows hugging both ends of the space,
+// so the bounds-classification rewrite (one comparison pair instead of two
+// Contains probes) is proven equivalent where it matters: l below base and
+// r beyond the shadow limit.
+func TestDifferentialSpaceEdges(t *testing.T) {
+	const size = 1 << 13
+	fast, ref, _ := diffPair(size)
+	spBase := fast.Shadow().Base()
+	limit := spBase + size
+
+	diffObject(fast, limit-64, 40)
+	diffObject(ref, limit-64, 40)
+
+	sweep := func(lLo, lHi vmem.Addr) {
+		for l := lLo; l <= lHi; l++ {
+			for r := l; r <= l+80; r++ {
+				errF := fast.CheckRange(l, r, report.Read)
+				errR := ref.CheckRange(l, r, report.Read)
+				if !sameError(errF, errR) {
+					t.Fatalf("CheckRange(%#x,%#x) fast=%v ref=%v", l, r, errF, errR)
+				}
+			}
+		}
+	}
+	sweep(spBase-40, spBase+40) // below and across the base
+	sweep(limit-72, limit+24)   // across the upper limit
+	if *fast.Stats() != *ref.Stats() {
+		t.Fatalf("edge sweep stats diverged: fast=%+v ref=%+v", *fast.Stats(), *ref.Stats())
+	}
+}
+
+// TestDifferentialAllCodesHead pins the segLimitTab head fix-up against the
+// reference switch for all 256 possible shadow codes and all head
+// alignments — the one spot where the fast path classifies with a table
+// the reference classifies with branches.
+func TestDifferentialAllCodesHead(t *testing.T) {
+	for code := 0; code < 256; code++ {
+		fast, ref, base := diffPair(1 << 13)
+		// Surround the probed segment with good memory so only the head
+		// segment's classification differs between scenarios.
+		fast.MarkAllocated(base, 64)
+		ref.MarkAllocated(base, 64)
+		fast.Shadow().StoreSeg(fast.Shadow().Index(base+8), uint8(code))
+		ref.Shadow().StoreSeg(ref.Shadow().Index(base+8), uint8(code))
+		for off := vmem.Addr(9); off < 16; off++ { // unaligned head inside the probed segment
+			for end := off + 1; end <= off+24; end++ {
+				errF := fast.CheckRange(base+off, base+end, report.Read)
+				errR := ref.CheckRange(base+off, base+end, report.Read)
+				if !sameError(errF, errR) {
+					t.Fatalf("code %#x: CheckRange(+%d,+%d) fast=%v ref=%v", code, off, end, errF, errR)
+				}
+			}
+		}
+		if *fast.Stats() != *ref.Stats() {
+			t.Fatalf("code %#x: stats diverged: fast=%+v ref=%+v", code, *fast.Stats(), *ref.Stats())
+		}
+	}
+}

@@ -13,6 +13,12 @@ import (
 type Sanitizer struct {
 	sh    *shadow.Memory
 	stats san.Stats
+	// ref routes CheckRange/CheckAccess through the reference (pre-
+	// optimization) implementation instead of the specialized fast path.
+	// Both paths are observably identical — same verdicts, same error
+	// reports, same Stats — which the differential suites prove; the flag
+	// exists so whole workloads can run under either path.
+	ref bool
 }
 
 // New returns a GiantSan instance over sp. The entire space starts
@@ -31,6 +37,13 @@ func (g *Sanitizer) Stats() *san.Stats { return &g.stats }
 
 // Shadow exposes the shadow memory for tests and the shadowviz tool.
 func (g *Sanitizer) Shadow() *shadow.Memory { return g.sh }
+
+// SetReference implements san.ReferencePath: when on, every check runs the
+// reference implementation (CheckRangeRef) instead of the fast path.
+func (g *Sanitizer) SetReference(on bool) { g.ref = on }
+
+// Reference implements san.ReferencePath.
+func (g *Sanitizer) Reference() bool { return g.ref }
 
 // load is the counted shadow-memory read: one call is one metadata load in
 // the paper's cost model.
@@ -161,10 +174,15 @@ func (g *Sanitizer) nullOrWild(p vmem.Addr, w uint64, t report.AccessType) *repo
 	return &report.Error{Kind: kind, Access: t, Addr: p, Size: w, Detector: g.Name()}
 }
 
-// CheckRange implements the paper's CI(L, R) — Algorithm 1 — extended with
-// a head fix-up for unaligned L. It is O(1): at most one shadow load on the
-// fast path and three more on the slow path, independent of R−L.
-func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Error {
+// CheckRangeRef is the reference implementation of the paper's CI(L, R) —
+// Algorithm 1 — extended with a head fix-up for unaligned L. It is O(1): at
+// most one shadow load on the fast path and three more on the slow path,
+// independent of R−L.
+//
+// This is the pre-optimization code path, kept verbatim and exported so the
+// differential suites can prove the specialized CheckRange observably
+// identical to it (verdict, error kind and every Stats counter).
+func (g *Sanitizer) CheckRangeRef(l, r vmem.Addr, t report.AccessType) *report.Error {
 	g.stats.Checks++
 	g.stats.RangeChecks++
 	if l >= r {
@@ -231,6 +249,11 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 // width w (w ≤ 8 in instrumented code, but any width is accepted).
 func (g *Sanitizer) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
 	return g.CheckRange(p, p+vmem.Addr(w), t)
+}
+
+// CheckAccessRef is the reference-path counterpart of CheckAccess.
+func (g *Sanitizer) CheckAccessRef(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	return g.CheckRangeRef(p, p+vmem.Addr(w), t)
 }
 
 // CheckAnchored implements the anchor-based enhancement of §4.4.1: instead

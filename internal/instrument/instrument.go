@@ -31,6 +31,12 @@ type Profile struct {
 	Cache bool
 	// Anchor enables anchor-based enhancement — GiantSan §4.4.1.
 	Anchor bool
+	// Reference routes runtime checks through the sanitizer's reference
+	// (pre-optimization) implementations instead of the specialized hot
+	// paths, for differential runs and before/after benchmarking. It
+	// changes no instrumentation decision — only which observably
+	// identical check body executes.
+	Reference bool
 }
 
 // Predefined profiles, one per Table 2 configuration.

@@ -1,0 +1,77 @@
+package interp
+
+import "giantsan/internal/vmem"
+
+// Constant-width access specialization. Access widths are compile-time
+// constants in the IR (n.Size), so the compiler can bind a width-specific
+// memory closure once instead of running vmem's generic byte-assembly loop
+// on every executed access. Widths 1/2/4/8 with a naturally aligned address
+// take a single fixed-width arena read/write; an unaligned address (legal
+// in the IR, and exactly what the unaligned bench shapes exercise) falls
+// back to the generic routine of the same width, so results are identical
+// byte for byte.
+
+// loadFn returns the loader specialized for constant width w.
+func loadFn(w uint64) func(*vmem.Space, vmem.Addr) uint64 {
+	switch w {
+	case 1:
+		return func(sp *vmem.Space, a vmem.Addr) uint64 { return uint64(sp.Load8(a)) }
+	case 2:
+		return func(sp *vmem.Space, a vmem.Addr) uint64 {
+			if a&1 == 0 {
+				return uint64(sp.Load16(a))
+			}
+			return sp.Load(a, 2)
+		}
+	case 4:
+		return func(sp *vmem.Space, a vmem.Addr) uint64 {
+			if a&3 == 0 {
+				return uint64(sp.Load32(a))
+			}
+			return sp.Load(a, 4)
+		}
+	case 8:
+		return func(sp *vmem.Space, a vmem.Addr) uint64 {
+			if a&7 == 0 {
+				return sp.Load64(a)
+			}
+			return sp.Load(a, 8)
+		}
+	default:
+		return func(sp *vmem.Space, a vmem.Addr) uint64 { return sp.Load(a, w) }
+	}
+}
+
+// storeFn returns the storer specialized for constant width w.
+func storeFn(w uint64) func(*vmem.Space, vmem.Addr, uint64) {
+	switch w {
+	case 1:
+		return func(sp *vmem.Space, a vmem.Addr, v uint64) { sp.Store8(a, byte(v)) }
+	case 2:
+		return func(sp *vmem.Space, a vmem.Addr, v uint64) {
+			if a&1 == 0 {
+				sp.Store16(a, uint16(v))
+				return
+			}
+			sp.Store(a, 2, v)
+		}
+	case 4:
+		return func(sp *vmem.Space, a vmem.Addr, v uint64) {
+			if a&3 == 0 {
+				sp.Store32(a, uint32(v))
+				return
+			}
+			sp.Store(a, 4, v)
+		}
+	case 8:
+		return func(sp *vmem.Space, a vmem.Addr, v uint64) {
+			if a&7 == 0 {
+				sp.Store64(a, v)
+				return
+			}
+			sp.Store(a, 8, v)
+		}
+	default:
+		return func(sp *vmem.Space, a vmem.Addr, v uint64) { sp.Store(a, w, v) }
+	}
+}

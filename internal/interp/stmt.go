@@ -79,6 +79,7 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 		}
 		dst := c.slot(n.Dst)
 		w := uint64(n.Size)
+		load := loadFn(w)
 		return func(s *state) {
 			s.stats.Accesses++
 			a := addr(s)
@@ -90,7 +91,7 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 				s.stats.Skipped++
 				return
 			}
-			v := int64(s.space.Load(a, w))
+			v := int64(load(s.space, a))
 			s.vars[dst] = v
 			s.checksum ^= uint64(v)
 			s.checksum = s.checksum<<7 | s.checksum>>57
@@ -110,6 +111,7 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 			return nil, err
 		}
 		w := uint64(n.Size)
+		store := storeFn(w)
 		return func(s *state) {
 			s.stats.Accesses++
 			a := addr(s)
@@ -121,7 +123,7 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 				s.stats.Skipped++
 				return
 			}
-			s.space.Store(a, w, uint64(val(s)))
+			store(s.space, a, uint64(val(s)))
 		}, nil
 
 	case *ir.Memset:
@@ -332,16 +334,30 @@ func (c *compiler) accessCheck(st ir.Stmt, baseVar string, size int) (checkFn, e
 		}, nil
 
 	case instrument.ModeDirect:
-		anchored := c.plan.Profile.Anchor
+		// The anchored/plain choice is a compile-time property of the
+		// profile: bind the right closure once instead of re-branching on
+		// every executed access.
+		if c.plan.Profile.Anchor {
+			return func(s *state, a vmem.Addr, t report.AccessType) bool {
+				s.stats.Direct++
+				slowBefore := sanStats.SlowChecks
+				err := checker.CheckAnchored(vmem.Addr(s.vars[base]), a, w, t)
+				if sanStats.SlowChecks > slowBefore {
+					s.stats.FullCheck++
+				} else {
+					s.stats.FastOnly++
+				}
+				if err != nil {
+					s.errs.Record(err)
+					return false
+				}
+				return true
+			}, nil
+		}
 		return func(s *state, a vmem.Addr, t report.AccessType) bool {
 			s.stats.Direct++
 			slowBefore := sanStats.SlowChecks
-			var err *report.Error
-			if anchored {
-				err = checker.CheckAnchored(vmem.Addr(s.vars[base]), a, w, t)
-			} else {
-				err = checker.CheckAccess(a, w, t)
-			}
+			err := checker.CheckAccess(a, w, t)
 			if sanStats.SlowChecks > slowBefore {
 				s.stats.FullCheck++
 			} else {

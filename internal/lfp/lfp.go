@@ -402,4 +402,4 @@ func (r *Runtime) CheckAnchored(anchor, p vmem.Addr, w uint64, t report.AccessTy
 
 // NewCache implements san.Sanitizer: LFP needs no cache — its checks are
 // already O(1) with zero metadata loads — so the pass-through is exact.
-func (r *Runtime) NewCache() san.Cache { return san.PassCache{S: r} }
+func (r *Runtime) NewCache() san.Cache { return &san.PassCache{S: r} }

@@ -77,6 +77,9 @@ type Config struct {
 	WithOracle bool
 	// DetectUAR enables stack use-after-return detection.
 	DetectUAR bool
+	// Reference routes checks through the sanitizer's reference
+	// (pre-optimization) path when it implements san.ReferencePath.
+	Reference bool
 }
 
 // Env is the generic shadow-based runtime.
@@ -116,6 +119,9 @@ func New(cfg Config) *Env {
 		s = asan.NewMinus(sp)
 	default:
 		s = core.New(sp)
+	}
+	if rp, ok := s.(san.ReferencePath); ok {
+		rp.SetReference(cfg.Reference)
 	}
 	heapStart := sp.Base()
 	heapLimit := sp.Base() + vmem.Addr(cfg.HeapBytes)

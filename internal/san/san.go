@@ -76,6 +76,19 @@ type Cache interface {
 	Finish(anchor vmem.Addr, t report.AccessType) *report.Error
 }
 
+// ReferencePath is implemented by sanitizers that keep their
+// pre-optimization check implementations alongside the specialized hot
+// paths. Flipping the switch routes every check through the reference
+// code; the two paths are observably identical (verdicts, error reports,
+// Stats), which the differential suites enforce. The harness uses it to
+// run whole workloads under either path and to benchmark the speedup.
+type ReferencePath interface {
+	// SetReference selects the reference (true) or specialized (false) path.
+	SetReference(on bool)
+	// Reference reports which path is selected.
+	Reference() bool
+}
+
 // Sanitizer is a complete location-based (or, for LFP, bounds-based) memory
 // error detector.
 type Sanitizer interface {
@@ -164,17 +177,44 @@ func Merge(parts ...*Stats) *Stats {
 	return out
 }
 
-// PassCache is the no-op history cache used by sanitizers without
-// quasi-bound support: every access degrades to a plain anchored check.
+// PassCache is the degenerate history cache used by sanitizers without
+// quasi-bound support: every access pays a plain anchored check, nothing is
+// ever satisfied from cache. It still tracks the extent the loop proved
+// addressable so that Finish can replay the loop-exit hazard check (§4.3):
+// without it, an object freed mid-loop after its accesses were checked
+// would slip past the baseline sanitizers even though GiantSan's boundCache
+// catches the same trace, and the differential harness would disagree on
+// verdicts for reasons unrelated to the encodings.
 type PassCache struct {
 	S Sanitizer
+	// anchor/ub mirror boundCache: ub is the largest off+w a successful
+	// non-negative cached check proved addressable from anchor.
+	anchor vmem.Addr
+	ub     uint64
 }
 
 // CheckCached implements Cache by delegating to CheckAnchored.
-func (c PassCache) CheckCached(anchor vmem.Addr, off int64, w uint64, t report.AccessType) *report.Error {
+func (c *PassCache) CheckCached(anchor vmem.Addr, off int64, w uint64, t report.AccessType) *report.Error {
+	if anchor != c.anchor {
+		c.anchor = anchor
+		c.ub = 0
+	}
 	p := anchor + vmem.Addr(off)
-	return c.S.CheckAnchored(anchor, p, w, t)
+	err := c.S.CheckAnchored(anchor, p, w, t)
+	if err == nil && off >= 0 && uint64(off)+w > c.ub {
+		c.ub = uint64(off) + w
+	}
+	return err
 }
 
-// Finish implements Cache; there is no cached state to verify.
-func (c PassCache) Finish(anchor vmem.Addr, t report.AccessType) *report.Error { return nil }
+// Finish implements Cache: re-validate the extent the loop relied on, so a
+// mid-loop deallocation of the anchor's object is reported at loop exit,
+// then reset for reuse.
+func (c *PassCache) Finish(anchor vmem.Addr, t report.AccessType) *report.Error {
+	ub := c.ub
+	c.ub = 0
+	if ub == 0 || anchor != c.anchor {
+		return nil
+	}
+	return c.S.CheckRange(anchor, anchor+vmem.Addr(ub), t)
+}

@@ -10,6 +10,7 @@
 package shadow
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"giantsan/internal/vmem"
@@ -64,6 +65,43 @@ func (m *Memory) LoadSeg(p int) uint8 { return m.units[p] }
 
 // Store sets the state code of the segment covering address a.
 func (m *Memory) Store(a vmem.Addr, v uint8) { m.units[m.Index(a)] = v }
+
+// Unchecked hot-path accessors. The checked accessors above panic on wild
+// addresses, which is the right default for allocators and tools; the
+// sanitizer check paths establish bounds once per check and then must not
+// pay a second, per-load classification. Callers of everything below own
+// the bounds proof.
+
+// IndexUnchecked returns the segment index of address a without the
+// covered-space check. a must satisfy Contains(a).
+func (m *Memory) IndexUnchecked(a vmem.Addr) int {
+	return int((a - m.base) >> SegShift)
+}
+
+// LoadUnchecked returns the state code of the segment covering a without
+// the covered-space check. a must satisfy Contains(a).
+func (m *Memory) LoadUnchecked(a vmem.Addr) uint8 {
+	return m.units[(a-m.base)>>SegShift]
+}
+
+// Raw exposes the backing state-code array for hot check paths: index p
+// holds segment p's code (the same values LoadSeg returns). Callers must
+// keep every index below NumSegments and must treat the slice as read-only;
+// all mutation goes through Store/StoreSeg/Fill.
+func (m *Memory) Raw() []uint8 { return m.units }
+
+// WideSegs is the number of segments one LoadWide covers.
+const WideSegs = 8
+
+// LoadWide returns the codes of the 8 consecutive segments starting at
+// segment index p, packed little-endian (segment p is the low byte). One
+// machine load stands in for 8 segment loads — the trick ASan's real
+// guardian uses to scan mid-range shadow 8 segments at a time (a zero word
+// means 8 fully addressable segments under ASan's encoding). p+8 must not
+// exceed NumSegments.
+func (m *Memory) LoadWide(p int) uint64 {
+	return binary.LittleEndian.Uint64(m.units[p:])
+}
 
 // StoreSeg sets the state code of segment index p.
 func (m *Memory) StoreSeg(p int, v uint8) { m.units[p] = v }

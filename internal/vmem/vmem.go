@@ -94,6 +94,30 @@ func (s *Space) Store8(a Addr, v byte) {
 	s.data[s.offset(a, 1)] = v
 }
 
+// Load16 reads a little-endian 16-bit word at address a.
+func (s *Space) Load16(a Addr) uint16 {
+	off := s.offset(a, 2)
+	return binary.LittleEndian.Uint16(s.data[off:])
+}
+
+// Store16 writes a little-endian 16-bit word at address a.
+func (s *Space) Store16(a Addr, v uint16) {
+	off := s.offset(a, 2)
+	binary.LittleEndian.PutUint16(s.data[off:], v)
+}
+
+// Load32 reads a little-endian 32-bit word at address a.
+func (s *Space) Load32(a Addr) uint32 {
+	off := s.offset(a, 4)
+	return binary.LittleEndian.Uint32(s.data[off:])
+}
+
+// Store32 writes a little-endian 32-bit word at address a.
+func (s *Space) Store32(a Addr, v uint32) {
+	off := s.offset(a, 4)
+	binary.LittleEndian.PutUint32(s.data[off:], v)
+}
+
 // Load64 reads a little-endian 64-bit word at address a.
 func (s *Space) Load64(a Addr) uint64 {
 	off := s.offset(a, 8)
