@@ -8,12 +8,21 @@
 //	giantbench -exp fig10
 //	giantbench -exp fig11
 //	giantbench -exp hotpath [-hotpath-out BENCH_hotpath.json]
+//	giantbench -exp metapath [-metapath-out BENCH_metapath.json]
 //	giantbench -exp all
 //
 // -hotpath is shorthand for -exp hotpath: it microbenchmarks the checker
 // hot paths (ns/check and shadow-loads/check per sanitizer × access shape,
 // including the reference-path rows the speedup is measured against) and
 // writes BENCH_hotpath.json.
+//
+// -metapath is shorthand for -exp metapath: the write-side twin. It
+// microbenchmarks the allocation metadata path (ns per allocate/release
+// operation and shadow-stores/op per sanitizer × size class × churn
+// pattern, against the reference poisoner path) and writes
+// BENCH_metapath.json. -metapath-min F fails the run when a GiantSan
+// churn's geomean fast-vs-reference speedup lands below F (the CI sanity
+// gate).
 //
 // Engine flags:
 //
@@ -43,16 +52,21 @@ import (
 
 	"giantsan/internal/bench"
 	"giantsan/internal/bench/hotpath"
+	"giantsan/internal/bench/metapath"
 	"giantsan/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath report")
 	hotpathPasses := flag.Int("hotpath-passes", 0, "passes per hotpath shape; 0 = default")
+	metapathFlag := flag.Bool("metapath", false, "shorthand for -exp metapath")
+	metapathOut := flag.String("metapath-out", "BENCH_metapath.json", "output path for the metapath report")
+	metapathOps := flag.Int("metapath-ops", 0, "operations per metapath batch; 0 = default")
+	metapathMin := flag.Float64("metapath-min", 0, "fail unless every GiantSan churn speedup ≥ this floor; 0 disables")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (table2, ablation, fig10)")
 	par := flag.Int("parallel", 0, "matrix worker count; 0 = GOMAXPROCS")
 	timeout := flag.Duration("timeout", 0, "per-item timeout guard; 0 disables")
@@ -61,6 +75,9 @@ func main() {
 	flag.Parse()
 	if *hotpathFlag {
 		*exp = "hotpath"
+	}
+	if *metapathFlag {
+		*exp = "metapath"
 	}
 
 	if *clock != "virtual" && *clock != "wall" {
@@ -137,7 +154,7 @@ func main() {
 		return nil
 	})
 	run("quarantine", func() error {
-		rows, err := bench.QuarantineAblation([]uint64{96, 960, 9600, 96000, 1 << 20}, 200)
+		rows, err := bench.QuarantineAblation([]uint64{96, 960, 9600, 96000, 1 << 20}, 200, engine("quarantine"))
 		if err != nil {
 			return err
 		}
@@ -169,6 +186,44 @@ func main() {
 		fmt.Println("Hot-path microbenchmark — ns/check and shadow-loads/check per sanitizer × shape")
 		fmt.Println(hotpath.Render(rep))
 		fmt.Printf("(written to %s)\n", *hotpathOut)
+		return nil
+	})
+	run("metapath", func() error {
+		rep, err := metapath.Run(*metapathOps)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*metapathOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("Metadata-path microbenchmark — ns/op and shadow-stores/op per sanitizer × class × churn")
+			fmt.Println(metapath.Render(rep))
+			fmt.Printf("(written to %s)\n", *metapathOut)
+		}
+		if *metapathMin > 0 {
+			var keys []string
+			for _, ch := range metapath.Churns() {
+				keys = append(keys, "giantsan/"+ch.Name)
+			}
+			if err := metapath.AssertFloor(rep, *metapathMin, keys...); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	run("fig11", func() error {

@@ -12,6 +12,8 @@
 package asan
 
 import (
+	"sync/atomic"
+
 	"giantsan/internal/report"
 	"giantsan/internal/san"
 	"giantsan/internal/shadow"
@@ -37,9 +39,9 @@ type Sanitizer struct {
 	// name lets the same runtime serve as both "asan" and "asan--"
 	// (ASan-- differs only in which checks the instrumentation emits).
 	name string
-	// ref routes checks through the reference (pre-optimization)
-	// implementations; the differential suites prove both paths
-	// observably identical.
+	// ref routes checks and poisoner calls through the reference
+	// (pre-optimization) implementations; the differential suites prove
+	// both paths observably identical.
 	ref bool
 }
 
@@ -78,9 +80,10 @@ func (a *Sanitizer) load(p vmem.Addr) uint8 {
 	return a.sh.Load(p)
 }
 
-// MarkAllocated implements san.Poisoner with ASan's zero-fill + trailing
-// partial code.
-func (a *Sanitizer) MarkAllocated(base vmem.Addr, size uint64) {
+// MarkAllocatedRef is the reference implementation of ASan's zero-fill +
+// trailing partial code, one byte store per segment. Kept for the
+// differential suites; the fast MarkAllocated must stay byte-identical.
+func (a *Sanitizer) MarkAllocatedRef(base vmem.Addr, size uint64) {
 	if size == 0 {
 		return
 	}
@@ -91,6 +94,39 @@ func (a *Sanitizer) MarkAllocated(base vmem.Addr, size uint64) {
 	if rem > 0 {
 		a.sh.StoreSeg(l+q, uint8(rem))
 	}
+	atomic.AddUint64(&a.stats.ShadowStores, markSegStores(q, rem))
+}
+
+// markSegStores is the conceptual store count of marking q full segments
+// plus an optional partial tail — the reference cost model both paths bill.
+func markSegStores(q, rem int) uint64 {
+	n := uint64(q)
+	if rem > 0 {
+		n++
+	}
+	return n
+}
+
+// MarkAllocated implements san.Poisoner. The fast lane zero-fills with
+// word-wide stores (the zero word IS the template for ASan's encoding, so
+// no memoization is needed on this side); shadow bytes and Stats are
+// identical to MarkAllocatedRef.
+func (a *Sanitizer) MarkAllocated(base vmem.Addr, size uint64) {
+	if a.ref {
+		a.MarkAllocatedRef(base, size)
+		return
+	}
+	if size == 0 {
+		return
+	}
+	q := int(size >> shadow.SegShift)
+	rem := int(size & 7)
+	l := a.sh.Index(base)
+	a.sh.Fill64(l, q, CodeGood)
+	if rem > 0 {
+		a.sh.StoreSeg(l+q, uint8(rem))
+	}
+	atomic.AddUint64(&a.stats.ShadowStores, markSegStores(q, rem))
 }
 
 func poisonCode(kind san.PoisonKind) uint8 {
@@ -133,8 +169,9 @@ func errorKind(code uint8) report.Kind {
 	}
 }
 
-// Poison implements san.Poisoner.
-func (a *Sanitizer) Poison(base vmem.Addr, size uint64, kind san.PoisonKind) {
+// PoisonRef is the reference poisoner, one byte store per segment. Kept
+// for the differential suites; the fast Poison must stay byte-identical.
+func (a *Sanitizer) PoisonRef(base vmem.Addr, size uint64, kind san.PoisonKind) {
 	if size == 0 {
 		return
 	}
@@ -142,6 +179,24 @@ func (a *Sanitizer) Poison(base vmem.Addr, size uint64, kind san.PoisonKind) {
 	l := a.sh.Index(base)
 	n := int((size + 7) >> shadow.SegShift)
 	a.sh.Fill(l, n, code)
+	atomic.AddUint64(&a.stats.ShadowStores, uint64(n))
+}
+
+// Poison implements san.Poisoner. The fast lane writes the repeated error
+// code word-wide; shadow bytes and Stats are identical to PoisonRef.
+func (a *Sanitizer) Poison(base vmem.Addr, size uint64, kind san.PoisonKind) {
+	if a.ref {
+		a.PoisonRef(base, size, kind)
+		return
+	}
+	if size == 0 {
+		return
+	}
+	code := poisonCode(kind)
+	l := a.sh.Index(base)
+	n := int((size + 7) >> shadow.SegShift)
+	a.sh.Fill64(l, n, code)
+	atomic.AddUint64(&a.stats.ShadowStores, uint64(n))
 }
 
 func (a *Sanitizer) fault(p vmem.Addr, w uint64, code uint8, t report.AccessType) *report.Error {

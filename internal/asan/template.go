@@ -1,0 +1,177 @@
+package asan
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"giantsan/internal/san"
+	"giantsan/internal/shadow"
+	"giantsan/internal/vmem"
+)
+
+// Allocation-path fast lane for the ASan baseline, mirroring
+// internal/core/template.go so the metadata-path benchmark compares the
+// sanitizers on equal engineering footing. ASan's allocated-region image is
+// trivial (zeros plus an optional partial code), but a whole chunk still
+// takes three separate writer calls; memoizing the full
+// [redzone][zeros][tail][redzone] image per size class turns that into one
+// copy. Caches are package-global and must stay byte-identical to the
+// reference writers, which the asan poisoner differential suite enforces.
+
+// maxTemplateSegs bounds memoized template length, matching core.
+const maxTemplateSegs = 1 << 13
+
+type chunkKey struct {
+	leftRZ, rightRZ, size uint64
+	left, right           san.PoisonKind
+}
+
+var chunkTemplates = struct {
+	sync.RWMutex
+	m map[chunkKey][]uint8
+}{m: map[chunkKey][]uint8{}}
+
+// chunkSegs returns the segment geometry of a chunk layout.
+func chunkSegs(leftRZ, userSize, rightRZ uint64) (lSegs, q, rem, total int) {
+	lSegs = int((leftRZ + 7) >> shadow.SegShift)
+	q = int(userSize >> shadow.SegShift)
+	rem = int(userSize & 7)
+	total = lSegs + q + int((rightRZ+7)>>shadow.SegShift)
+	if rem > 0 {
+		total++
+	}
+	return
+}
+
+// chunkTemplate returns the memoized whole-chunk shadow image for the key.
+func chunkTemplate(k chunkKey) []uint8 {
+	chunkTemplates.RLock()
+	tpl, ok := chunkTemplates.m[k]
+	chunkTemplates.RUnlock()
+	if ok {
+		return tpl
+	}
+	lSegs, q, rem, total := chunkSegs(k.leftRZ, k.size, k.rightRZ)
+	tpl = make([]uint8, total)
+	lc := poisonCode(k.left)
+	for i := 0; i < lSegs; i++ {
+		tpl[i] = lc
+	}
+	// The q user segments stay CodeGood (zero) as make left them.
+	p := lSegs + q
+	if rem > 0 {
+		tpl[p] = uint8(rem)
+		p++
+	}
+	rc := poisonCode(k.right)
+	for i := p; i < total; i++ {
+		tpl[i] = rc
+	}
+	chunkTemplates.Lock()
+	chunkTemplates.m[k] = tpl
+	chunkTemplates.Unlock()
+	return tpl
+}
+
+// PoisonChunk implements san.ChunkPoisoner: one templated stamp for the
+// whole chunk layout, observably identical to the three-call reference
+// sequence.
+func (a *Sanitizer) PoisonChunk(start vmem.Addr, leftRZ, userSize, rightRZ uint64, left, right san.PoisonKind) {
+	reserved := (userSize + 7) &^ 7
+	if a.ref {
+		a.PoisonRef(start, leftRZ, left)
+		a.MarkAllocatedRef(start+vmem.Addr(leftRZ), userSize)
+		a.PoisonRef(start+vmem.Addr(leftRZ+reserved), rightRZ, right)
+		return
+	}
+	lSegs, q, rem, total := chunkSegs(leftRZ, userSize, rightRZ)
+	l := a.sh.Index(start)
+	if total > maxTemplateSegs {
+		// Oversized chunk: compose the word-wide piecewise writers.
+		a.sh.Fill64(l, lSegs, poisonCode(left))
+		a.sh.Fill64(l+lSegs, q, CodeGood)
+		if rem > 0 {
+			a.sh.StoreSeg(l+lSegs+q, uint8(rem))
+		}
+		atomic.AddUint64(&a.stats.ShadowStores, markSegStores(q, rem))
+		rSegs := total - lSegs - q
+		if rem > 0 {
+			rSegs--
+		}
+		a.sh.Fill64(l+int((leftRZ+reserved)>>shadow.SegShift), rSegs, poisonCode(right))
+		atomic.AddUint64(&a.stats.ShadowStores, uint64(lSegs+rSegs))
+		return
+	}
+	a.sh.CopySeg(l, chunkTemplate(chunkKey{leftRZ, rightRZ, userSize, left, right}))
+	atomic.AddUint64(&a.stats.ShadowStores, uint64(total))
+}
+
+var frameTemplates = struct {
+	sync.RWMutex
+	m map[string][]uint8
+}{m: map[string][]uint8{}}
+
+// frameKeyBuf appends the uvarint frame key to b.
+func frameKeyBuf(b []byte, rz uint64, sizes []uint64) []byte {
+	b = binary.AppendUvarint(b, rz)
+	for _, s := range sizes {
+		b = binary.AppendUvarint(b, s)
+	}
+	return b
+}
+
+// frameSegs returns the total segment count of a frame layout.
+func frameSegs(rz uint64, sizes []uint64) int {
+	total := 0
+	for _, size := range sizes {
+		if size == 0 {
+			size = 1
+		}
+		reserved := (size + 7) &^ 7
+		total += int((2*((rz+7)&^7) + reserved) >> shadow.SegShift)
+	}
+	return total
+}
+
+// PoisonFrame implements san.FramePoisoner: one templated stamp for a
+// whole stack frame, observably identical to the per-local PoisonChunk
+// loop.
+func (a *Sanitizer) PoisonFrame(start vmem.Addr, rz uint64, sizes []uint64) {
+	perLocal := func(visit func(at vmem.Addr, size uint64)) {
+		at := start
+		for _, size := range sizes {
+			if size == 0 {
+				size = 1
+			}
+			visit(at, size)
+			at += vmem.Addr(rz + ((size + 7) &^ 7) + rz)
+		}
+	}
+	total := frameSegs(rz, sizes)
+	if a.ref || total > maxTemplateSegs {
+		perLocal(func(at vmem.Addr, size uint64) {
+			a.PoisonChunk(at, rz, size, rz, san.StackRedzone, san.StackRedzone)
+		})
+		return
+	}
+	var keyBuf [64]byte
+	key := frameKeyBuf(keyBuf[:0], rz, sizes)
+	frameTemplates.RLock()
+	tpl, ok := frameTemplates.m[string(key)]
+	frameTemplates.RUnlock()
+	if !ok {
+		tpl = make([]uint8, 0, total)
+		for _, size := range sizes {
+			if size == 0 {
+				size = 1
+			}
+			tpl = append(tpl, chunkTemplate(chunkKey{rz, rz, size, san.StackRedzone, san.StackRedzone})...)
+		}
+		frameTemplates.Lock()
+		frameTemplates.m[string(key)] = tpl
+		frameTemplates.Unlock()
+	}
+	a.sh.CopySeg(a.sh.Index(start), tpl)
+	atomic.AddUint64(&a.stats.ShadowStores, uint64(total))
+}

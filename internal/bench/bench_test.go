@@ -208,7 +208,7 @@ func TestRedzoneAblation(t *testing.T) {
 // collapses as the budget shrinks below it.
 func TestQuarantineAblation(t *testing.T) {
 	// 64-byte objects → 96-byte chunks; 100 allocations of pressure.
-	rows, err := QuarantineAblation([]uint64{96, 960, 96 * 200}, 100)
+	rows, err := QuarantineAblation([]uint64{96, 960, 96 * 200}, 100, Options{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

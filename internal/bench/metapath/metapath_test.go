@@ -1,0 +1,101 @@
+package metapath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMetapathMatrix runs the full matrix at a small batch size and checks
+// the structural invariants: every cell present, sane measurements, the
+// speedup table fully populated, and — the fast lane's core contract —
+// shadow-stores/op byte-identical between each specialized config and its
+// reference twin (the churn traces are deterministic, so the conceptual
+// poisoning work must match exactly).
+func TestMetapathMatrix(t *testing.T) {
+	rep, err := Run(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Configs()) * len(Churns()) * len(Classes())
+	if len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), want)
+	}
+	byKey := map[string]Row{}
+	for _, r := range rep.Rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s/%d: non-positive ns/op", r.Sanitizer, r.Churn, r.Class)
+		}
+		if r.ShadowStoresPerOp <= 0 {
+			t.Errorf("%s/%s/%d: no shadow stores measured", r.Sanitizer, r.Churn, r.Class)
+		}
+		byKey[fmt.Sprintf("%s/%s/%d", r.Sanitizer, r.Churn, r.Class)] = r
+	}
+	for _, base := range []string{"giantsan", "asan"} {
+		for _, ch := range Churns() {
+			if _, ok := rep.Speedup[base+"/"+ch.Name]; !ok {
+				t.Errorf("missing geomean speedup for %s/%s", base, ch.Name)
+			}
+			for _, class := range Classes() {
+				key := fmt.Sprintf("%s/%s/%d", base, ch.Name, class)
+				if _, ok := rep.Speedup[key]; !ok {
+					t.Errorf("missing speedup entry %s", key)
+				}
+				fast, ref := byKey[key], byKey[fmt.Sprintf("%s-ref/%s/%d", base, ch.Name, class)]
+				if fast.ShadowStoresPerOp != ref.ShadowStoresPerOp {
+					t.Errorf("%s: shadow-stores/op %.2f fast vs %.2f reference — the paths must bill identical conceptual work",
+						key, fast.ShadowStoresPerOp, ref.ShadowStoresPerOp)
+				}
+			}
+		}
+	}
+	if err := AssertFloor(rep, -1, "giantsan/tcache-hit", "giantsan/quarantine-recycle"); err != nil {
+		t.Errorf("gate keys missing: %v", err)
+	}
+	if err := AssertFloor(rep, 1e9, "giantsan/fresh"); err == nil {
+		t.Error("AssertFloor accepted an impossible floor")
+	}
+	out := Render(rep)
+	for _, wantStr := range []string{"tcache-hit", "quarantine-recycle", "stack-frame", "vs reference path"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("render missing %q", wantStr)
+		}
+	}
+}
+
+// BenchmarkMetapath exposes each (config, churn) pair to the standard Go
+// benchmark harness at the 96-byte class, so `go test -bench` can profile
+// the allocation metadata path directly.
+func BenchmarkMetapath(b *testing.B) {
+	const class = 96
+	for _, cfg := range Configs() {
+		for _, ch := range Churns() {
+			b.Run(cfg.Label+"/"+ch.Name, func(b *testing.B) {
+				run, _, err := ch.Build(cfg.Kind, cfg.Reference, class)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const batch = 512
+				b.ResetTimer()
+				for done := 0; done < b.N; done += batch {
+					n := batch
+					if rem := b.N - done; rem < n {
+						n = rem
+					}
+					if err := run(n); err != nil {
+						// The arena drained: rebuild outside the timer.
+						b.StopTimer()
+						run, _, err = ch.Build(cfg.Kind, cfg.Reference, class)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StartTimer()
+						if err := run(n); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

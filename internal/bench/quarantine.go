@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"giantsan/internal/parallel"
 	"giantsan/internal/report"
 	"giantsan/internal/rt"
 	"giantsan/internal/texttable"
@@ -22,36 +23,42 @@ type QuarantineRow struct {
 // pressure, and probes the dangling pointer after each allocation: with a
 // large budget the chunk stays poisoned through all the pressure; with a
 // tiny one it is recycled almost immediately.
-func QuarantineAblation(budgets []uint64, pressure int) ([]QuarantineRow, error) {
-	var rows []QuarantineRow
-	for _, budget := range budgets {
+//
+// Budgets are independent studies in separate environments, so they run
+// under the parallel engine; the merge is index-ordered, so the returned
+// rows match the budgets order regardless of opts.Parallel. Within one
+// budget the probe sequence is strictly ordered — detection depends on the
+// quarantine's FIFO eviction order and the poison-state transitions of the
+// recycled chunks, which the determinism tests pin across worker counts.
+func QuarantineAblation(budgets []uint64, pressure int, opts Options) ([]QuarantineRow, error) {
+	return parallel.Map(len(budgets), opts.pool(), func(i int) (QuarantineRow, error) {
+		budget := budgets[i]
 		env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 32 << 20, QuarantineBytes: budget})
 		row := QuarantineRow{Budget: budget}
 		dangling, err := env.Malloc(64)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		if err := env.Free(dangling); err != nil {
-			return nil, fmt.Errorf("quarantine ablation: %v", err)
+			return row, fmt.Errorf("quarantine ablation: %v", err)
 		}
 		for i := 0; i < pressure; i++ {
 			// Allocation churn: every free pushes the FIFO and can evict
 			// the dangling chunk; every malloc may then recycle it.
 			p, err := env.Malloc(64)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			row.Total++
 			if env.San().CheckAccess(vmem.Addr(dangling), 8, report.Read) != nil {
 				row.Detected++
 			}
 			if err := env.Free(p); err != nil {
-				return nil, fmt.Errorf("quarantine ablation: %v", err)
+				return row, fmt.Errorf("quarantine ablation: %v", err)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderQuarantine renders the study.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"giantsan/internal/report"
 	"giantsan/internal/san"
 	"giantsan/internal/shadow"
@@ -39,7 +41,9 @@ func (g *Sanitizer) Stats() *san.Stats { return &g.stats }
 func (g *Sanitizer) Shadow() *shadow.Memory { return g.sh }
 
 // SetReference implements san.ReferencePath: when on, every check runs the
-// reference implementation (CheckRangeRef) instead of the fast path.
+// reference implementation (CheckRangeRef) instead of the fast path, and
+// every poisoner call runs the reference writers (MarkAllocatedRef /
+// PoisonRef) instead of the templated fast lane.
 func (g *Sanitizer) SetReference(on bool) { g.ref = on }
 
 // Reference implements san.ReferencePath.
@@ -52,16 +56,21 @@ func (g *Sanitizer) load(a vmem.Addr) uint8 {
 	return g.sh.Load(a)
 }
 
-// MarkAllocated implements san.Poisoner: it builds the folded-segment
-// summary over [base, base+size) (§4.1). base must be 8-byte aligned
-// (guaranteed by the allocators).
+// MarkAllocatedRef is the reference implementation of the folded-segment
+// poisoner: it builds the summary over [base, base+size) (§4.1). base must
+// be 8-byte aligned (guaranteed by the allocators).
 //
 // The Figure 5 pattern is run-length structured — degree d repeats for
 // ~2^d consecutive segments — so the write decomposes into O(log n)
 // block fills. That keeps poisoning at memset speed, backing the paper's
 // claim that the richer encoding "does not take extra computation" over
 // ASan's zero-fill.
-func (g *Sanitizer) MarkAllocated(base vmem.Addr, size uint64) {
+//
+// This is the pre-optimization write path, kept verbatim (plus the
+// ShadowStores accounting shared with the fast lane) and exported so the
+// differential suites can prove the templated MarkAllocated byte-identical
+// to it.
+func (g *Sanitizer) MarkAllocatedRef(base vmem.Addr, size uint64) {
 	if size == 0 {
 		return
 	}
@@ -80,6 +89,34 @@ func (g *Sanitizer) MarkAllocated(base vmem.Addr, size uint64) {
 	if rem > 0 {
 		g.sh.StoreSeg(l+q, PartialCode(rem))
 	}
+	atomic.AddUint64(&g.stats.ShadowStores, markSegStores(q, rem))
+}
+
+// markSegStores is the conceptual store count of marking q full segments
+// plus an optional partial tail — one store per segment touched, identical
+// across the fast and reference paths.
+func markSegStores(q, rem int) uint64 {
+	n := uint64(q)
+	if rem > 0 {
+		n++
+	}
+	return n
+}
+
+// MarkAllocated implements san.Poisoner. The fast lane stamps a memoized
+// fold template (template.go); the reference path recomputes the ladder
+// per call.
+func (g *Sanitizer) MarkAllocated(base vmem.Addr, size uint64) {
+	if g.ref {
+		g.MarkAllocatedRef(base, size)
+		return
+	}
+	if size == 0 {
+		return
+	}
+	q := int(size >> shadow.SegShift)
+	rem := int(size & 7)
+	g.markSegsFast(g.sh.Index(base), q, rem)
 }
 
 // poisonCode maps allocator poison reasons to shadow error codes.
@@ -127,9 +164,11 @@ func errorKind(code uint8) report.Kind {
 	}
 }
 
-// Poison implements san.Poisoner. base and size are segment-aligned by the
-// allocators (redzones and reserved regions are multiples of 8).
-func (g *Sanitizer) Poison(base vmem.Addr, size uint64, kind san.PoisonKind) {
+// PoisonRef is the reference implementation of the error-code poisoner:
+// one byte store per segment. base and size are segment-aligned by the
+// allocators (redzones and reserved regions are multiples of 8). Kept
+// exported for the differential suites, like MarkAllocatedRef.
+func (g *Sanitizer) PoisonRef(base vmem.Addr, size uint64, kind san.PoisonKind) {
 	if size == 0 {
 		return
 	}
@@ -137,6 +176,24 @@ func (g *Sanitizer) Poison(base vmem.Addr, size uint64, kind san.PoisonKind) {
 	l := g.sh.Index(base)
 	n := int((size + 7) >> shadow.SegShift)
 	g.sh.Fill(l, n, code)
+	atomic.AddUint64(&g.stats.ShadowStores, uint64(n))
+}
+
+// Poison implements san.Poisoner. The fast lane retires 8 segments per
+// machine store (shadow.Fill64); the reference path fills byte by byte.
+func (g *Sanitizer) Poison(base vmem.Addr, size uint64, kind san.PoisonKind) {
+	if g.ref {
+		g.PoisonRef(base, size, kind)
+		return
+	}
+	if size == 0 {
+		return
+	}
+	code := poisonCode(kind)
+	l := g.sh.Index(base)
+	n := int((size + 7) >> shadow.SegShift)
+	g.sh.Fill64(l, n, code)
+	atomic.AddUint64(&g.stats.ShadowStores, uint64(n))
 }
 
 // fault builds the error report for a failed check over [l, r). The error

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"giantsan/internal/san"
+	"giantsan/internal/shadow"
+	"giantsan/internal/vmem"
+)
+
+// The allocation-path fast lane. GiantSan's folded encoding makes checks
+// cheap but moves cost onto metadata construction: every malloc rebuilds
+// the Figure 5 fold ladder and poisons two redzones, every free rewrites
+// the freed run (the shadow-update overhead the paper concedes on
+// allocation-heavy workloads, §6). The fold ladder for q good segments
+// depends only on q — never on the base address — and allocators recycle a
+// small set of (size, redzone) classes, so this file memoizes the ladders
+// and whole-chunk/whole-frame shadow images once per class and stamps them
+// with copy() instead of recomputing per allocation. The caches are
+// package-global (the encoding is fixed by Definition 1, so templates are
+// shareable across every Sanitizer instance) and guarded for the
+// concurrent allocators.
+//
+// Everything here must stay byte-identical — shadow content and Stats — to
+// the reference writers in sanitizer.go; the poisoner differential suite
+// enforces that for every size class, alignment and poison kind.
+
+// maxTemplateSegs bounds memoized template length (8 KiB of codes = 64 KiB
+// object spans). Beyond it the fast lane degrades to word-wide run fills:
+// giant allocations are rare and bandwidth-bound, so a template would only
+// bloat the cache.
+const maxTemplateSegs = 1 << 13
+
+// ladderTemplates memoizes the Figure 5 fold ladder per full-segment count
+// q. Stored slices are shared and must be treated as read-only.
+var ladderTemplates = struct {
+	sync.RWMutex
+	m map[int][]uint8
+}{m: map[int][]uint8{}}
+
+// ladderTemplate returns the memoized fold ladder for q full segments:
+// ladder[j] = FoldedCode(DegreeAt(q, j)), exactly the codes
+// MarkAllocatedRef's run fills produce.
+func ladderTemplate(q int) []uint8 {
+	ladderTemplates.RLock()
+	tpl, ok := ladderTemplates.m[q]
+	ladderTemplates.RUnlock()
+	if ok {
+		return tpl
+	}
+	tpl = make([]uint8, q)
+	j := 0
+	for j < q {
+		d := DegreeAt(q, j)
+		runLen := q - (1 << d) - j + 1
+		code := FoldedCode(d)
+		for i := j; i < j+runLen; i++ {
+			tpl[i] = code
+		}
+		j += runLen
+	}
+	ladderTemplates.Lock()
+	ladderTemplates.m[q] = tpl
+	ladderTemplates.Unlock()
+	return tpl
+}
+
+// markSegsFast writes the allocated-region codes (q-segment ladder plus
+// optional rem-byte partial tail) starting at segment l, through the
+// template cache or — past the memoization bound — word-wide run fills.
+func (g *Sanitizer) markSegsFast(l, q, rem int) {
+	if q > 0 {
+		if q <= maxTemplateSegs {
+			g.sh.CopySeg(l, ladderTemplate(q))
+		} else {
+			j := 0
+			for j < q {
+				d := DegreeAt(q, j)
+				runLen := q - (1 << d) - j + 1
+				g.sh.Fill64(l+j, runLen, FoldedCode(d))
+				j += runLen
+			}
+		}
+	}
+	if rem > 0 {
+		g.sh.StoreSeg(l+q, PartialCode(rem))
+	}
+	atomic.AddUint64(&g.stats.ShadowStores, markSegStores(q, rem))
+}
+
+// chunkKey identifies one memoized whole-chunk shadow image. Allocators
+// reuse few distinct (redzone, size, kind) combinations, so the cache
+// stays small.
+type chunkKey struct {
+	leftRZ, rightRZ, size uint64
+	left, right           san.PoisonKind
+}
+
+var chunkTemplates = struct {
+	sync.RWMutex
+	m map[chunkKey][]uint8
+}{m: map[chunkKey][]uint8{}}
+
+// chunkSegs returns the segment geometry of a chunk layout: left redzone,
+// user ladder, partial tail, right redzone.
+func chunkSegs(leftRZ, userSize, rightRZ uint64) (lSegs, q, rem, total int) {
+	lSegs = int((leftRZ + 7) >> shadow.SegShift)
+	q = int(userSize >> shadow.SegShift)
+	rem = int(userSize & 7)
+	total = lSegs + q + int((rightRZ+7)>>shadow.SegShift)
+	if rem > 0 {
+		total++
+	}
+	return
+}
+
+// chunkTemplate returns the memoized whole-chunk shadow image for the key.
+func chunkTemplate(k chunkKey) []uint8 {
+	chunkTemplates.RLock()
+	tpl, ok := chunkTemplates.m[k]
+	chunkTemplates.RUnlock()
+	if ok {
+		return tpl
+	}
+	lSegs, q, rem, total := chunkSegs(k.leftRZ, k.size, k.rightRZ)
+	tpl = make([]uint8, total)
+	lc := poisonCode(k.left)
+	for i := 0; i < lSegs; i++ {
+		tpl[i] = lc
+	}
+	copy(tpl[lSegs:], ladderTemplate(q))
+	p := lSegs + q
+	if rem > 0 {
+		tpl[p] = PartialCode(rem)
+		p++
+	}
+	rc := poisonCode(k.right)
+	for i := p; i < total; i++ {
+		tpl[i] = rc
+	}
+	chunkTemplates.Lock()
+	chunkTemplates.m[k] = tpl
+	chunkTemplates.Unlock()
+	return tpl
+}
+
+// PoisonChunk implements san.ChunkPoisoner: one templated stamp for the
+// whole [left redzone][user region][right redzone] layout, observably
+// identical to the three-call reference sequence it replaces.
+func (g *Sanitizer) PoisonChunk(start vmem.Addr, leftRZ, userSize, rightRZ uint64, left, right san.PoisonKind) {
+	reserved := (userSize + 7) &^ 7
+	if g.ref {
+		g.PoisonRef(start, leftRZ, left)
+		g.MarkAllocatedRef(start+vmem.Addr(leftRZ), userSize)
+		g.PoisonRef(start+vmem.Addr(leftRZ+reserved), rightRZ, right)
+		return
+	}
+	lSegs, q, rem, total := chunkSegs(leftRZ, userSize, rightRZ)
+	l := g.sh.Index(start)
+	if total > maxTemplateSegs {
+		// Oversized chunk: compose the word-wide piecewise writers.
+		g.sh.Fill64(l, lSegs, poisonCode(left))
+		g.markSegsFast(l+lSegs, q, rem)
+		rSegs := total - lSegs - q
+		if rem > 0 {
+			rSegs--
+		}
+		g.sh.Fill64(l+int((leftRZ+reserved)>>shadow.SegShift), rSegs, poisonCode(right))
+		atomic.AddUint64(&g.stats.ShadowStores, uint64(lSegs+rSegs))
+		return
+	}
+	g.sh.CopySeg(l, chunkTemplate(chunkKey{leftRZ, rightRZ, userSize, left, right}))
+	atomic.AddUint64(&g.stats.ShadowStores, uint64(total))
+}
+
+// frameTemplates memoizes whole-frame shadow images keyed by the uvarint
+// encoding of (rz, sizes...).
+var frameTemplates = struct {
+	sync.RWMutex
+	m map[string][]uint8
+}{m: map[string][]uint8{}}
+
+// frameKeyBuf appends the uvarint frame key to b.
+func frameKeyBuf(b []byte, rz uint64, sizes []uint64) []byte {
+	b = binary.AppendUvarint(b, rz)
+	for _, s := range sizes {
+		b = binary.AppendUvarint(b, s)
+	}
+	return b
+}
+
+// frameSegs returns the total segment count of a frame layout.
+func frameSegs(rz uint64, sizes []uint64) int {
+	total := 0
+	for _, size := range sizes {
+		if size == 0 {
+			size = 1
+		}
+		reserved := (size + 7) &^ 7
+		total += int((2*((rz+7)&^7) + reserved) >> shadow.SegShift)
+	}
+	return total
+}
+
+// PoisonFrame implements san.FramePoisoner: one templated stamp for a
+// whole stack frame of locals, observably identical to the per-local
+// PoisonChunk loop (and thus to the per-local reference sequence).
+func (g *Sanitizer) PoisonFrame(start vmem.Addr, rz uint64, sizes []uint64) {
+	perLocal := func(visit func(a vmem.Addr, size uint64)) {
+		a := start
+		for _, size := range sizes {
+			if size == 0 {
+				size = 1
+			}
+			visit(a, size)
+			a += vmem.Addr(rz + ((size + 7) &^ 7) + rz)
+		}
+	}
+	if g.ref {
+		perLocal(func(a vmem.Addr, size uint64) {
+			g.PoisonChunk(a, rz, size, rz, san.StackRedzone, san.StackRedzone)
+		})
+		return
+	}
+	total := frameSegs(rz, sizes)
+	if total > maxTemplateSegs {
+		perLocal(func(a vmem.Addr, size uint64) {
+			g.PoisonChunk(a, rz, size, rz, san.StackRedzone, san.StackRedzone)
+		})
+		return
+	}
+	var keyBuf [64]byte
+	key := frameKeyBuf(keyBuf[:0], rz, sizes)
+	frameTemplates.RLock()
+	tpl, ok := frameTemplates.m[string(key)]
+	frameTemplates.RUnlock()
+	if !ok {
+		tpl = make([]uint8, 0, total)
+		for _, size := range sizes {
+			if size == 0 {
+				size = 1
+			}
+			tpl = append(tpl, chunkTemplate(chunkKey{rz, rz, size, san.StackRedzone, san.StackRedzone})...)
+		}
+		frameTemplates.Lock()
+		frameTemplates.m[string(key)] = tpl
+		frameTemplates.Unlock()
+	}
+	g.sh.CopySeg(g.sh.Index(start), tpl)
+	atomic.AddUint64(&g.stats.ShadowStores, uint64(total))
+}

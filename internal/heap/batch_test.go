@@ -1,0 +1,227 @@
+package heap
+
+import (
+	"slices"
+	"testing"
+
+	"giantsan/internal/core"
+	"giantsan/internal/oracle"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// Tests for the allocation-path batching: thread-cache refill runs and
+// merged quarantine eviction sweeps.
+
+// kindCount returns how many Poison calls of the kind the recorder saw.
+func (r *recPoisoner) kindCount(kind san.PoisonKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kinds[kind]
+}
+
+// fullFor mirrors chunkSizeFor for the default redzone without an
+// allocator instance.
+func fullFor(user uint64) uint64 {
+	rz := alignUp(DefaultRedzone)
+	return rz + alignUp(user) + rz
+}
+
+// TestTCacheRefillRun: the first Malloc of a size class through a
+// refilling cache reserves RefillAt contiguous chunks with ONE HeapFreed
+// sweep, and the following RefillAt−1 Mallocs of the class are served from
+// the run without another refill.
+func TestTCacheRefillRun(t *testing.T) {
+	a, p, _ := newHeap(t, Config{})
+	tc := a.NewTCache()
+	tc.RefillAt = 4
+
+	before := p.kindCount(san.HeapFreed)
+	var got []vmem.Addr
+	for i := 0; i < 4; i++ {
+		q, err := tc.Malloc(96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, q)
+	}
+	if sweeps := p.kindCount(san.HeapFreed) - before; sweeps != 1 {
+		t.Errorf("draining one run made %d HeapFreed sweeps, want exactly 1", sweeps)
+	}
+	st := a.Stats()
+	if st.TCacheRefills != 1 {
+		t.Errorf("TCacheRefills = %d, want 1", st.TCacheRefills)
+	}
+	if st.TCacheHits != 4 {
+		t.Errorf("TCacheHits = %d, want 4", st.TCacheHits)
+	}
+	// The run is one contiguous block of RefillAt chunk footprints.
+	slices.Sort(got)
+	full := a.chunkSizeFor(96)
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0]+vmem.Addr(uint64(i)*full) {
+			t.Fatalf("run chunks not contiguous: %v (footprint %d)", got, full)
+		}
+	}
+	// The 5th allocation of the class needs a new run.
+	if _, err := tc.Malloc(96); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.TCacheRefills != 2 {
+		t.Errorf("TCacheRefills after draining = %d, want 2", st.TCacheRefills)
+	}
+}
+
+// TestTCacheRefillPrefersFreeList: recycled central chunks are used before
+// fresh runs are reserved, so delayed-reuse semantics do not change
+// because a refilling cache sits in front of the central allocator.
+func TestTCacheRefillPrefersFreeList(t *testing.T) {
+	a, _, _ := newHeap(t, Config{NoQuarantine: true})
+	p1, err := a.Malloc(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	tc := a.NewTCache()
+	tc.RefillAt = 4
+	p2, err := tc.Malloc(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Errorf("cache miss ignored the free list: got %#x, want recycled %#x", p2, p1)
+	}
+	st := a.Stats()
+	if st.FreeListReuses != 1 || st.TCacheRefills != 0 {
+		t.Errorf("FreeListReuses = %d, TCacheRefills = %d; want 1 and 0", st.FreeListReuses, st.TCacheRefills)
+	}
+}
+
+// TestTCacheRefillAddressesAreLive: chunks served from a reserved run are
+// fully registered — the user region is addressable, frees work, and
+// double frees are caught.
+func TestTCacheRefillAddressesAreLive(t *testing.T) {
+	a, p, _ := newHeap(t, Config{})
+	tc := a.NewTCache()
+	tc.RefillAt = 3
+	ptr, err := tc.Malloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.addressable(ptr, 40) {
+		t.Error("user region of a run-served chunk is not addressable")
+	}
+	if err := tc.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Free(ptr); err == nil {
+		t.Error("double free of a run-served chunk went unreported")
+	}
+}
+
+// TestEvictionSweepMerges: chunks evicted together by one quarantine
+// overflow are retired with one merged poison sweep when their extents are
+// address-adjacent, so EvictionSweeps < QuarantinePops.
+func TestEvictionSweepMerges(t *testing.T) {
+	const small = uint64(96)
+	smallFull := fullFor(small)
+	a, p, _ := newHeap(t, Config{QuarantineBytes: 4 * smallFull})
+	// Four adjacent small chunks (fresh bump allocations are contiguous),
+	// freed without overflowing the budget.
+	var ptrs []vmem.Addr
+	for i := 0; i < 4; i++ {
+		q, err := a.Malloc(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, q)
+	}
+	// The big chunk is bump-allocated right above them.
+	big, err := a.Malloc(4 * smallFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ptrs {
+		if err := a.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.Stats(); st.QuarantinePops != 0 {
+		t.Fatalf("premature evictions: %+v", st)
+	}
+	// Freeing the big chunk overflows the budget so far that every
+	// quarantined chunk — the four smalls and the big one itself — is
+	// evicted in a single call. All five extents are adjacent, so they
+	// retire in ONE sweep.
+	before := p.kindCount(san.HeapFreed)
+	if err := a.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.QuarantinePops != 5 {
+		t.Fatalf("QuarantinePops = %d, want 5", st.QuarantinePops)
+	}
+	if st.EvictionSweeps != 1 {
+		t.Errorf("EvictionSweeps = %d, want 1 merged sweep for 5 adjacent chunks", st.EvictionSweeps)
+	}
+	// Poison calls during the big free: its own user region plus the sweep.
+	if got := p.kindCount(san.HeapFreed) - before; got != 2 {
+		t.Errorf("HeapFreed poison calls during eviction = %d, want 2 (own free + merged sweep)", got)
+	}
+	// Every evicted chunk's full extent — redzones included — is retired.
+	rz := a.Redzone()
+	for _, q := range append(slices.Clone(ptrs), big) {
+		start := q - vmem.Addr(rz)
+		c := a.chunks[q]
+		for off := vmem.Addr(0); off < vmem.Addr(c.size); off++ {
+			if p.state[start+off-p.base] != 2 {
+				t.Fatalf("evicted chunk byte %#x not poisoned", start+off)
+			}
+		}
+	}
+}
+
+// TestBatchPathsValidateAgainstOracle runs refill + eviction churn under
+// the real GiantSan encoding and audits the whole shadow against ground
+// truth: reserved-run sweeps and merged eviction scrubs must never violate
+// a Definition 1 invariant.
+func TestBatchPathsValidateAgainstOracle(t *testing.T) {
+	sp := vmem.NewSpace(4 << 20)
+	g := core.New(sp)
+	o := oracle.New(sp)
+	a := New(sp, g, Config{Oracle: o, QuarantineBytes: 1 << 12})
+	tc := a.NewTCache()
+	tc.RefillAt = 8
+	tc.FlushAt = 4
+	var live []vmem.Addr
+	for i := 0; i < 400; i++ {
+		q, err := tc.Malloc(uint64(24 + 8*(i%5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, q)
+		if len(live) > 12 {
+			if err := tc.Free(live[0]); err != nil {
+				t.Fatal(err)
+			}
+			live = live[1:]
+		}
+		if i%50 == 0 {
+			if err := g.ValidateShadow(o); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := tc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.TCacheRefills == 0 || st.EvictionSweeps == 0 || st.FreeListReuses == 0 {
+		t.Fatalf("churn did not exercise the batch paths: %+v", st)
+	}
+	if err := g.ValidateShadow(o); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,8 +13,10 @@
 package heap
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"giantsan/internal/oracle"
@@ -91,9 +93,13 @@ type Config struct {
 // Allocator is a segregated-free-list heap allocator over a simulated
 // address space.
 type Allocator struct {
-	mu      sync.Mutex
-	space   *vmem.Space
-	p       san.Poisoner
+	mu    sync.Mutex
+	space *vmem.Space
+	p     san.Poisoner
+	// cp is p's chunk-batching extension, resolved once at construction so
+	// the hot allocation path pays no per-call type assertion; nil when the
+	// poisoner only implements the base interface.
+	cp      san.ChunkPoisoner
 	cfg     Config
 	rz      uint64
 	start   vmem.Addr // heap region start
@@ -115,6 +121,14 @@ type AllocStats struct {
 	QuarantinePushes uint64
 	QuarantinePops   uint64
 	FreeListReuses   uint64
+	// TCacheHits counts allocations satisfied from a thread cache's
+	// reserved run; TCacheRefills counts the runs reserved.
+	TCacheHits    uint64
+	TCacheRefills uint64
+	// EvictionSweeps counts the merged poison sweeps the quarantine made
+	// while retiring evicted chunks (≤ QuarantinePops: adjacent chunks
+	// share one sweep).
+	EvictionSweeps uint64
 }
 
 // New returns an allocator managing [space.Base(), space.Limit()) minus a
@@ -130,9 +144,11 @@ func New(space *vmem.Space, p san.Poisoner, cfg Config) *Allocator {
 	if start == 0 && limit == 0 {
 		start, limit = space.Base(), space.Limit()
 	}
+	cp, _ := p.(san.ChunkPoisoner)
 	a := &Allocator{
 		space:  space,
 		p:      p,
+		cp:     cp,
 		cfg:    cfg,
 		rz:     alignUp(cfg.Redzone),
 		start:  start,
@@ -181,6 +197,15 @@ func (a *Allocator) MallocLabeled(size uint64, label string) (vmem.Addr, error) 
 		a.mu.Unlock()
 		return 0, err
 	}
+	a.registerLocked(c, size, label)
+	a.mu.Unlock()
+	a.finishMalloc(c, label)
+	return c.userBase, nil
+}
+
+// registerLocked makes chunk c the live allocation for size bytes and
+// publishes it in the registry. Caller holds the lock.
+func (a *Allocator) registerLocked(c *chunk, size uint64, label string) {
 	c.userBase = c.start + a.rz
 	c.userSize = size
 	c.state = stateLive
@@ -189,19 +214,32 @@ func (a *Allocator) MallocLabeled(size uint64, label string) (vmem.Addr, error) 
 	a.stats.Mallocs++
 	a.stats.BytesAllocated += size
 	a.stats.BytesLive += size
-	a.mu.Unlock()
+}
 
-	// Poison outside the lock: shadow for this chunk is owned by it.
-	a.p.Poison(c.start, a.rz, san.RedzoneLeft)
-	a.p.MarkAllocated(c.userBase, c.userSize)
-	a.p.Poison(c.userBase+c.userReserved(), a.rz, san.RedzoneRight)
+// finishMalloc performs the out-of-lock tail of an allocation: shadow for
+// the chunk is owned by it, so poisoning needs no lock.
+func (a *Allocator) finishMalloc(c *chunk, label string) {
+	a.poisonChunk(c)
 	if a.cfg.Oracle != nil {
 		// The alignment tail between userSize and userReserved is redzone
 		// territory in ground truth.
 		tail := c.userReserved() - c.userSize
 		a.cfg.Oracle.Alloc(c.userBase, c.userSize, a.rz, a.rz+tail, oracle.Heap, label)
 	}
-	return c.userBase, nil
+}
+
+// poisonChunk lays down the full shadow image of a live chunk: left
+// redzone, allocated user region, alignment tail plus right redzone. One
+// templated stamp when the poisoner batches; the classic three-call
+// sequence otherwise — observably identical either way.
+func (a *Allocator) poisonChunk(c *chunk) {
+	if a.cp != nil {
+		a.cp.PoisonChunk(c.start, a.rz, c.userSize, a.rz, san.RedzoneLeft, san.RedzoneRight)
+		return
+	}
+	a.p.Poison(c.start, a.rz, san.RedzoneLeft)
+	a.p.MarkAllocated(c.userBase, c.userSize)
+	a.p.Poison(c.userBase+c.userReserved(), a.rz, san.RedzoneRight)
 }
 
 // takeChunk acquires a chunk with the given full size, reusing the free
@@ -223,6 +261,26 @@ func (a *Allocator) takeChunk(full uint64) (*chunk, error) {
 	c := &chunk{start: a.bump, size: full}
 	a.bump += vmem.Addr(full)
 	return c, nil
+}
+
+// reserveRun carves n contiguous fresh chunks of the given full size from
+// the bump frontier for a thread cache's refill. The caller holds the
+// lock. The chunks are returned in address order, unregistered and with
+// untouched shadow: until the owning cache registers one as live, nothing
+// else can reach them, so the cache poisons the whole run in one HeapFreed
+// sweep after releasing the lock.
+func (a *Allocator) reserveRun(full uint64, n int) ([]*chunk, error) {
+	need := vmem.Addr(full) * vmem.Addr(n)
+	if a.bump+need > a.limit {
+		return nil, fmt.Errorf("%w: need %d bytes, %d left", ErrOutOfMemory, need, a.limit-a.bump)
+	}
+	run := make([]*chunk, n)
+	for i := range run {
+		run[i] = &chunk{start: a.bump, size: full, state: stateFree}
+		a.bump += vmem.Addr(full)
+	}
+	a.stats.TCacheRefills++
+	return run, nil
 }
 
 // Free deallocates the allocation at p. It reports double frees and frees
@@ -258,25 +316,60 @@ func (a *Allocator) Free(p vmem.Addr) *report.Error {
 // holds the lock; c must be live or pending.
 func (a *Allocator) quarantineLocked(c *chunk) {
 	c.state = stateQuarantined
-	var popped []*chunk
 	if a.cfg.NoQuarantine {
-		popped = append(popped, c)
-	} else {
-		a.quar = append(a.quar, c)
-		a.quarLen += c.size
-		a.stats.QuarantinePushes++
-		for a.quarLen > a.cfg.QuarantineBytes && len(a.quar) > 0 {
-			old := a.quar[0]
-			a.quar = a.quar[1:]
-			a.quarLen -= old.size
-			a.stats.QuarantinePops++
-			popped = append(popped, old)
-		}
+		c.state = stateFree
+		a.free[c.size] = append(a.free[c.size], c)
+		return
+	}
+	a.quar = append(a.quar, c)
+	a.quarLen += c.size
+	a.stats.QuarantinePushes++
+	var popped []*chunk
+	for a.quarLen > a.cfg.QuarantineBytes && len(a.quar) > 0 {
+		old := a.quar[0]
+		a.quar = a.quar[1:]
+		a.quarLen -= old.size
+		a.stats.QuarantinePops++
+		popped = append(popped, old)
+	}
+	if len(popped) > 0 {
+		a.sweepEvictedLocked(popped)
 	}
 	for _, old := range popped {
 		old.state = stateFree
 		a.free[old.size] = append(a.free[old.size], old)
 	}
+}
+
+// sweepEvictedLocked retires the shadow of evicted chunks: each chunk's
+// whole extent — redzones included — becomes HeapFreed, and address-adjacent
+// chunks (the common case: quarantine evicts in FIFO order, and frees of a
+// run of bump-allocated chunks arrive together) are merged so one poisoner
+// sweep covers the whole run instead of one call per chunk. It must run
+// while the caller still holds the lock: the moment a chunk reaches the
+// free list a concurrent Malloc may take it and stamp its live image, and
+// a late eviction sweep would wipe that out.
+func (a *Allocator) sweepEvictedLocked(evicted []*chunk) {
+	// Sort a copy: the caller appends to the free lists in pop order, and
+	// that FIFO reuse order must not depend on address layout.
+	popped := slices.Clone(evicted)
+	slices.SortFunc(popped, func(x, y *chunk) int {
+		return cmp.Compare(x.start, y.start)
+	})
+	runStart, runLen := popped[0].start, popped[0].size
+	flush := func() {
+		a.p.Poison(runStart, runLen, san.HeapFreed)
+		a.stats.EvictionSweeps++
+	}
+	for _, old := range popped[1:] {
+		if runStart+vmem.Addr(runLen) == old.start {
+			runLen += old.size
+			continue
+		}
+		flush()
+		runStart, runLen = old.start, old.size
+	}
+	flush()
 }
 
 // finishPending moves a thread-cache pending chunk into the central

@@ -21,15 +21,82 @@ type TCache struct {
 	pending []vmem.Addr
 	// FlushAt is the batch size; zero means 64.
 	FlushAt int
+	// RefillAt, when positive, enables the allocation fast path: a miss on
+	// the local cache reserves RefillAt contiguous fresh chunks of the size
+	// class in one central critical section and poisons the whole reserved
+	// run as freed memory in one sweep; later Mallocs of the class take a
+	// reserved chunk with only the brief registration lock. Zero keeps the
+	// seed behaviour (every Malloc goes through the central allocator).
+	RefillAt int
+	// cache holds reserved fresh chunks keyed by full chunk size.
+	cache map[uint64][]*chunk
 }
 
 // NewTCache returns a thread cache over a.
 func (a *Allocator) NewTCache() *TCache { return &TCache{a: a} }
 
-// Malloc allocates through the central allocator. (Allocation fast paths
-// are not simulated; the measurable behaviour — poisoning and layout — is
-// identical either way.)
-func (t *TCache) Malloc(size uint64) (vmem.Addr, error) { return t.a.Malloc(size) }
+// Malloc allocates a chunk, through the local reserved-run cache when
+// RefillAt is set and through the central allocator otherwise.
+func (t *TCache) Malloc(size uint64) (vmem.Addr, error) { return t.MallocLabeled(size, "") }
+
+// MallocLabeled is Malloc with a diagnostic label recorded in reports and
+// the oracle.
+func (t *TCache) MallocLabeled(size uint64, label string) (vmem.Addr, error) {
+	if t.RefillAt <= 0 {
+		return t.a.MallocLabeled(size, label)
+	}
+	if size == 0 {
+		size = 1
+	}
+	a := t.a
+	full := a.chunkSizeFor(size)
+	if list := t.cache[full]; len(list) > 0 {
+		c := list[len(list)-1]
+		t.cache[full] = list[:len(list)-1]
+		a.mu.Lock()
+		a.registerLocked(c, size, label)
+		a.stats.TCacheHits++
+		a.mu.Unlock()
+		a.finishMalloc(c, label)
+		return c.userBase, nil
+	}
+	// Miss: recycled central chunks first (delayed-reuse semantics must not
+	// change because a cache sits in front), then a fresh reserved run.
+	a.mu.Lock()
+	if len(a.free[full]) > 0 {
+		c, err := a.takeChunk(full)
+		if err != nil {
+			a.mu.Unlock()
+			return 0, err
+		}
+		a.registerLocked(c, size, label)
+		a.mu.Unlock()
+		a.finishMalloc(c, label)
+		return c.userBase, nil
+	}
+	run, err := a.reserveRun(full, t.RefillAt)
+	a.mu.Unlock()
+	if err != nil {
+		// The arena tail cannot hold a whole run; the central allocator
+		// decides whether a single chunk still fits.
+		return a.MallocLabeled(size, label)
+	}
+	// One sweep poisons the entire reserved run as freed memory. No lock
+	// needed: nothing else can reach these chunks until they are
+	// registered.
+	a.p.Poison(run[0].start, full*uint64(len(run)), san.HeapFreed)
+	c := run[0]
+	if t.cache == nil {
+		t.cache = make(map[uint64][]*chunk)
+	}
+	t.cache[full] = append(t.cache[full], run[1:]...)
+	a.mu.Lock()
+	a.registerLocked(c, size, label)
+	a.stats.TCacheHits++
+	a.mu.Unlock()
+	a.finishMalloc(c, label)
+	return c.userBase, nil
+}
 
 // Free records the free locally and flushes a batch when full. Invalid and
 // double frees are detected immediately: the chunk leaves the live state,

@@ -77,8 +77,9 @@ type Config struct {
 	WithOracle bool
 	// DetectUAR enables stack use-after-return detection.
 	DetectUAR bool
-	// Reference routes checks through the sanitizer's reference
-	// (pre-optimization) path when it implements san.ReferencePath.
+	// Reference routes checks and poisoner calls through the sanitizer's
+	// reference (pre-optimization) path when it implements
+	// san.ReferencePath.
 	Reference bool
 }
 

@@ -47,6 +47,34 @@ type Poisoner interface {
 	Poison(base vmem.Addr, size uint64, kind PoisonKind)
 }
 
+// ChunkPoisoner is an optional Poisoner extension for the allocation fast
+// lane: poisoners that can stamp a whole chunk layout — left redzone,
+// allocated region (fold ladder + partial tail), right redzone — in one
+// templated sweep implement it. PoisonChunk must be observably identical
+// (shadow bytes and Stats) to the three-call sequence
+//
+//	Poison(start, leftRZ, left)
+//	MarkAllocated(start+leftRZ, userSize)
+//	Poison(start+leftRZ+alignUp8(userSize), rightRZ, right)
+//
+// which the allocators fall back to when the poisoner lacks the extension,
+// and which the differential suites enforce. leftRZ and rightRZ are 8-byte
+// multiples (allocator-guaranteed, like base alignment).
+type ChunkPoisoner interface {
+	PoisonChunk(start vmem.Addr, leftRZ, userSize, rightRZ uint64, left, right PoisonKind)
+}
+
+// FramePoisoner is the stack-side batching extension: PoisonFrame stamps a
+// whole function frame — locals laid out back to back, each as
+// [redzone][local][alignment tail][redzone] — in one templated sweep
+// starting at start. It must be observably identical to one PoisonChunk per
+// local with StackRedzone on both sides (the per-local fallback the stack
+// allocator uses otherwise). A size of 0 is promoted to 1, matching the
+// stack allocator's Alloca.
+type FramePoisoner interface {
+	PoisonFrame(start vmem.Addr, rz uint64, sizes []uint64)
+}
+
 // Checker performs runtime checks. All checks return nil for a safe access
 // and a *report.Error otherwise; they never halt (halt_on_error=false).
 type Checker interface {
@@ -77,11 +105,13 @@ type Cache interface {
 }
 
 // ReferencePath is implemented by sanitizers that keep their
-// pre-optimization check implementations alongside the specialized hot
-// paths. Flipping the switch routes every check through the reference
-// code; the two paths are observably identical (verdicts, error reports,
-// Stats), which the differential suites enforce. The harness uses it to
-// run whole workloads under either path and to benchmark the speedup.
+// pre-optimization implementations alongside the specialized hot paths.
+// Flipping the switch routes every check AND every poisoner call through
+// the reference code (CheckRangeRef / MarkAllocatedRef / PoisonRef); the
+// two paths are observably identical (verdicts, error reports, shadow
+// bytes, Stats), which the differential suites enforce. The harness uses
+// it to run whole workloads under either path and to benchmark the
+// speedup.
 type ReferencePath interface {
 	// SetReference selects the reference (true) or specialized (false) path.
 	SetReference(on bool)
@@ -109,6 +139,17 @@ type Stats struct {
 	Checks uint64
 	// ShadowLoads is the number of shadow-memory (metadata) loads.
 	ShadowLoads uint64
+	// ShadowStores is the number of shadow-memory (metadata) segment
+	// writes the poisoners performed — one per segment touched, the
+	// write-side twin of ShadowLoads. Like ShadowLoads on the wide-scan
+	// read path, the count is the reference cost model's: the fast lane
+	// bills the same conceptual per-segment stores it replaces with word
+	// stores and template copies, so the counter is identical across the
+	// fast and reference paths. Unlike the checker counters, poisoner
+	// calls may run concurrently (the allocators poison outside their
+	// locks — each chunk's shadow is disjoint), so implementations update
+	// this field atomically.
+	ShadowStores uint64
 	// FastChecks counts GiantSan region checks satisfied by the fast path.
 	FastChecks uint64
 	// SlowChecks counts GiantSan region checks needing the slow path.
@@ -128,6 +169,7 @@ type Stats struct {
 func (s *Stats) Add(other *Stats) {
 	s.Checks += other.Checks
 	s.ShadowLoads += other.ShadowLoads
+	s.ShadowStores += other.ShadowStores
 	s.FastChecks += other.FastChecks
 	s.SlowChecks += other.SlowChecks
 	s.CacheHits += other.CacheHits
@@ -145,6 +187,7 @@ func (s *Stats) Sub(other *Stats) Stats {
 	return Stats{
 		Checks:       s.Checks - other.Checks,
 		ShadowLoads:  s.ShadowLoads - other.ShadowLoads,
+		ShadowStores: s.ShadowStores - other.ShadowStores,
 		FastChecks:   s.FastChecks - other.FastChecks,
 		SlowChecks:   s.SlowChecks - other.SlowChecks,
 		CacheHits:    s.CacheHits - other.CacheHits,

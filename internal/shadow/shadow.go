@@ -106,12 +106,73 @@ func (m *Memory) LoadWide(p int) uint64 {
 // StoreSeg sets the state code of segment index p.
 func (m *Memory) StoreSeg(p int, v uint8) { m.units[p] = v }
 
-// Fill sets n consecutive segments starting at segment index p to v.
+// Debug gates the span assertions on the bulk writers (Fill, Fill64,
+// StoreWide, CopySeg). Unlike the read side — where IndexUnchecked exists
+// because per-load classification is the hot cost — the writers pay one
+// comparison pair per *call*, negligible next to the writes themselves, so
+// the assertions default to on. Without them a negative n is accepted
+// silently by the word-stepping writers (the loop simply never runs),
+// hiding an allocator arithmetic bug behind a no-op.
+var Debug = true
+
+// assertSpan panics when [p, p+n) is not a valid segment span.
+func (m *Memory) assertSpan(op string, p, n int) {
+	if n < 0 || p < 0 || p+n > len(m.units) {
+		panic(fmt.Sprintf("shadow: %s span [%d, %d+%d) outside the %d covered segments", op, p, p, n, len(m.units)))
+	}
+}
+
+// Fill sets n consecutive segments starting at segment index p to v, one
+// byte store per segment. This is the reference writer; the fast lanes use
+// Fill64/CopySeg below.
 func (m *Memory) Fill(p, n int, v uint8) {
+	if Debug {
+		m.assertSpan("Fill", p, n)
+	}
 	region := m.units[p : p+n]
 	for i := range region {
 		region[i] = v
 	}
+}
+
+// Fill64 sets n consecutive segments starting at segment index p to v,
+// retiring 8 shadow bytes per machine store: the interior is written as
+// 64-bit words of the repeated code, with byte stores only for the
+// sub-word tail. It is the write-side twin of LoadWide and must produce
+// exactly the bytes Fill produces.
+func (m *Memory) Fill64(p, n int, v uint8) {
+	if Debug {
+		m.assertSpan("Fill64", p, n)
+	}
+	region := m.units[p : p+n]
+	word := uint64(v) * 0x0101010101010101
+	for len(region) >= 8 {
+		binary.LittleEndian.PutUint64(region, word)
+		region = region[8:]
+	}
+	for i := range region {
+		region[i] = v
+	}
+}
+
+// StoreWide sets the codes of the 8 consecutive segments starting at
+// segment index p from one packed little-endian word (segment p takes the
+// low byte) — the store dual of LoadWide. p+8 must not exceed NumSegments.
+func (m *Memory) StoreWide(p int, w uint64) {
+	if Debug {
+		m.assertSpan("StoreWide", p, WideSegs)
+	}
+	binary.LittleEndian.PutUint64(m.units[p:], w)
+}
+
+// CopySeg stamps the template codes into the segments starting at segment
+// index p — one memmove instead of len(codes) segment stores. This is how
+// the precomputed fold templates reach the shadow.
+func (m *Memory) CopySeg(p int, codes []uint8) {
+	if Debug {
+		m.assertSpan("CopySeg", p, len(codes))
+	}
+	copy(m.units[p:], codes)
 }
 
 // Snapshot copies the state codes of n segments starting at segment p.

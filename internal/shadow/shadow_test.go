@@ -1,6 +1,7 @@
 package shadow
 
 import (
+	"strings"
 	"testing"
 
 	"giantsan/internal/vmem"
@@ -75,6 +76,88 @@ func TestFillAndSnapshot(t *testing.T) {
 			t.Errorf("Snapshot[%d] = %d, want %d", i, snap[i], want[i])
 		}
 	}
+}
+
+// TestFill64MatchesFill pins the word-stepping writer to the reference
+// byte-loop writer over every start offset and length that matters for
+// word alignment: interiors, sub-word tails, and spans shorter than one
+// word.
+func TestFill64MatchesFill(t *testing.T) {
+	sp := vmem.NewSpace(1 << 10)
+	for p := 0; p < 16; p++ {
+		for n := 0; n <= 40; n++ {
+			a, b := New(sp), New(sp)
+			a.Fill(0, a.NumSegments(), 0x11)
+			b.Fill64(0, b.NumSegments(), 0x11)
+			a.Fill(p, n, 0x2a)
+			b.Fill64(p, n, 0x2a)
+			for i := 0; i < a.NumSegments(); i++ {
+				if a.LoadSeg(i) != b.LoadSeg(i) {
+					t.Fatalf("Fill64(%d,%d): segment %d = %#x, Fill wrote %#x",
+						p, n, i, b.LoadSeg(i), a.LoadSeg(i))
+				}
+			}
+		}
+	}
+}
+
+func TestStoreWideLoadWideRoundTrip(t *testing.T) {
+	sp := vmem.NewSpace(256)
+	m := New(sp)
+	const w = uint64(0x0807060504030201)
+	m.StoreWide(3, w)
+	if got := m.LoadWide(3); got != w {
+		t.Errorf("LoadWide = %#x, want %#x", got, w)
+	}
+	// Segment 3 took the low byte; neighbours are untouched.
+	for i, want := range []uint8{0, 1, 2, 3, 4, 5, 6, 7, 8, 0} {
+		if got := m.LoadSeg(2 + i); got != want {
+			t.Errorf("segment %d = %d, want %d", 2+i, got, want)
+		}
+	}
+}
+
+func TestCopySeg(t *testing.T) {
+	sp := vmem.NewSpace(256)
+	m := New(sp)
+	tpl := []uint8{9, 8, 7, 6, 5}
+	m.CopySeg(4, tpl)
+	snap := m.Snapshot(3, 7)
+	want := []uint8{0, 9, 8, 7, 6, 5, 0}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("Snapshot[%d] = %d, want %d", i, snap[i], want[i])
+		}
+	}
+}
+
+// TestBulkWriterSpanAssertions is the regression test for the n < 0
+// contract: every bulk writer must reject an invalid span with a clear
+// panic instead of silently writing nothing (the word-stepping loops would
+// otherwise simply not run).
+func TestBulkWriterSpanAssertions(t *testing.T) {
+	sp := vmem.NewSpace(256)
+	m := New(sp)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s did not panic", name)
+				return
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "shadow: ") {
+				t.Errorf("%s panicked with %v, want a shadow span message", name, r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Fill(n<0)", func() { m.Fill(4, -1, 7) })
+	mustPanic("Fill64(n<0)", func() { m.Fill64(4, -3, 7) })
+	mustPanic("Fill(p<0)", func() { m.Fill(-2, 4, 7) })
+	mustPanic("Fill64(past end)", func() { m.Fill64(m.NumSegments()-2, 4, 7) })
+	mustPanic("StoreWide(past end)", func() { m.StoreWide(m.NumSegments()-7, 1) })
+	mustPanic("CopySeg(past end)", func() { m.CopySeg(m.NumSegments()-2, []uint8{1, 2, 3}) })
 }
 
 func TestSegStart(t *testing.T) {

@@ -38,8 +38,12 @@ type frame struct {
 // Stack is a downward-ignorant (grows upward for simplicity; the shadow
 // geometry is direction-independent) frame allocator.
 type Stack struct {
-	space  *vmem.Space
-	p      san.Poisoner
+	space *vmem.Space
+	p     san.Poisoner
+	// cp and fp are p's batching extensions, resolved once at construction;
+	// nil when the poisoner only implements the base interface.
+	cp     san.ChunkPoisoner
+	fp     san.FramePoisoner
 	rz     uint64
 	start  vmem.Addr
 	limit  vmem.Addr
@@ -74,9 +78,13 @@ func New(space *vmem.Space, p san.Poisoner, cfg Config) *Stack {
 	if start == 0 && limit == 0 {
 		start, limit = space.Base(), space.Limit()
 	}
+	cp, _ := p.(san.ChunkPoisoner)
+	fp, _ := p.(san.FramePoisoner)
 	return &Stack{
 		space:     space,
 		p:         p,
+		cp:        cp,
+		fp:        fp,
 		rz:        rz,
 		start:     start,
 		limit:     limit,
@@ -117,14 +125,79 @@ func (s *Stack) AllocaLabeled(size uint64, label string) vmem.Addr {
 	s.bump += vmem.Addr(need)
 	f.locals = append(f.locals, local{base: base, size: size})
 
-	s.p.Poison(start, s.rz, san.StackRedzone)
-	s.p.MarkAllocated(base, size)
-	s.p.Poison(base+vmem.Addr(reserved), s.rz, san.StackRedzone)
+	s.poisonLocal(start, size)
 	if s.Oracle != nil {
 		tail := reserved - size
 		s.Oracle.Alloc(base, size, s.rz, s.rz+tail, oracle.Stack, label)
 	}
 	return base
+}
+
+// poisonLocal lays down one local's shadow image ([redzone][local][tail +
+// redzone]) starting at start: one templated stamp when the poisoner
+// batches, the classic three-call sequence otherwise.
+func (s *Stack) poisonLocal(start vmem.Addr, size uint64) {
+	if s.cp != nil {
+		s.cp.PoisonChunk(start, s.rz, size, s.rz, san.StackRedzone, san.StackRedzone)
+		return
+	}
+	reserved := (size + Align - 1) &^ (Align - 1)
+	base := start + vmem.Addr(s.rz)
+	s.p.Poison(start, s.rz, san.StackRedzone)
+	s.p.MarkAllocated(base, size)
+	s.p.Poison(base+vmem.Addr(reserved), s.rz, san.StackRedzone)
+}
+
+// PushLocals opens a new frame holding all the given locals at once and
+// returns their bases in argument order. Semantically identical to Push
+// followed by one Alloca per size (sizes of 0 are promoted to 1), but the
+// frame's whole shadow image — every redzone and every local — is stamped
+// in one sweep when the poisoner supports frame batching, which is how
+// instrumented function prologues poison in one go instead of per-local.
+func (s *Stack) PushLocals(sizes ...uint64) []vmem.Addr {
+	s.Push()
+	if len(sizes) == 0 {
+		return nil
+	}
+	f := s.frames[len(s.frames)-1]
+	start := s.bump
+	bases := make([]vmem.Addr, len(sizes))
+	need := vmem.Addr(0)
+	for i, size := range sizes {
+		if size == 0 {
+			size = 1
+		}
+		reserved := (size + Align - 1) &^ (Align - 1)
+		bases[i] = start + need + vmem.Addr(s.rz)
+		f.locals = append(f.locals, local{base: bases[i], size: size})
+		need += vmem.Addr(s.rz + reserved + s.rz)
+	}
+	if s.bump+need > s.limit {
+		panic(fmt.Sprintf("stack: simulated stack exhausted (need %d bytes)", need))
+	}
+	s.bump += need
+	if s.fp != nil {
+		s.fp.PoisonFrame(start, s.rz, sizes)
+	} else {
+		at := start
+		for _, size := range sizes {
+			if size == 0 {
+				size = 1
+			}
+			s.poisonLocal(at, size)
+			at += vmem.Addr(s.rz + ((size + Align - 1) &^ (Align - 1)) + s.rz)
+		}
+	}
+	if s.Oracle != nil {
+		for i, size := range sizes {
+			if size == 0 {
+				size = 1
+			}
+			tail := ((size + Align - 1) &^ (Align - 1)) - size
+			s.Oracle.Alloc(bases[i], size, s.rz, s.rz+tail, oracle.Stack, "")
+		}
+	}
+	return bases
 }
 
 // Pop closes the current frame. With DetectUAR the frame's memory is

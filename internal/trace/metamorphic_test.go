@@ -2,21 +2,38 @@ package trace
 
 import (
 	"bytes"
+	"hash/fnv"
+	"strconv"
 	"testing"
 
 	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
 	"giantsan/internal/rt"
+	"giantsan/internal/shadow"
 	"giantsan/internal/workload"
 )
 
 // The metamorphic property: replaying an identical memory trace under the
 // specialized and reference check paths is an observably identical
 // execution — same number of replayed events, byte-identical error logs,
-// and equal Stats counters. The traces come from real workload kernels, so
-// the comparison covers the whole mix of access widths, alignments, range
-// sizes and quasi-bound patterns the instrumentation actually emits,
-// rather than synthetic sweeps.
+// equal Stats counters, and (now that the poisoners are routed too) a
+// byte-identical final shadow state. The traces come from real workload
+// kernels, so the comparison covers the whole mix of access widths,
+// alignments, range sizes, quasi-bound patterns and allocation size
+// classes the instrumentation actually emits, rather than synthetic
+// sweeps.
+
+// shadowDigest hashes the full shadow state of env's sanitizer, or returns
+// "" when the sanitizer does not expose its shadow.
+func shadowDigest(env rt.Runtime) string {
+	sh, ok := env.San().(interface{ Shadow() *shadow.Memory })
+	if !ok {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write(sh.Shadow().Raw())
+	return strconv.FormatUint(h.Sum64(), 16)
+}
 
 // metamorphicKernels is a spread of allocation/access behaviours: pointer
 // chasing (mcf), dense stencils (lbm), bulk ranges (xz), string/hash churn
@@ -68,7 +85,7 @@ func TestMetamorphicReplayFastVsReference(t *testing.T) {
 			{rt.GiantSan, true},
 			{rt.ASan, false},
 		} {
-			replay := func(reference bool) (*ReplayResult, string, interface{}) {
+			replay := func(reference bool) (*ReplayResult, string, interface{}, string) {
 				env := rt.New(rt.Config{Kind: cfg.kind, HeapBytes: w.HeapBytes, Reference: reference})
 				res, err := Replay(bytes.NewReader(raw), env, cfg.anchored)
 				if err != nil {
@@ -79,10 +96,13 @@ func TestMetamorphicReplayFastVsReference(t *testing.T) {
 					log.WriteString(e.Error())
 					log.WriteByte('\n')
 				}
-				return res, log.String(), *env.San().Stats()
+				return res, log.String(), *env.San().Stats(), shadowDigest(env)
 			}
-			fast, fastLog, fastStats := replay(false)
-			ref, refLog, refStats := replay(true)
+			fast, fastLog, fastStats, fastDig := replay(false)
+			ref, refLog, refStats, refDig := replay(true)
+			if fastDig != refDig {
+				t.Errorf("%s/%s: final shadow states differ (fast %s, reference %s)", id, cfg.kind, fastDig, refDig)
+			}
 			if fast.Events != ref.Events {
 				t.Errorf("%s/%s: fast replayed %d events, reference %d", id, cfg.kind, fast.Events, ref.Events)
 			}
