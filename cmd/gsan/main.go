@@ -1,58 +1,98 @@
 // Command gsan runs one SPEC-like workload under one sanitizer and prints
 // the run's error reports and counters — the closest thing to "running a
 // binary under the sanitizer" the simulation offers. It can also record a
-// run to a portable memory-operation trace and replay traces under any
-// sanitizer.
+// run to a portable memory-operation trace, replay traces under any
+// sanitizer, and serve the multi-tenant sanitization service over HTTP.
 //
 // Usage:
 //
 //	gsan -workload 505.mcf_r -san giantsan [-scale N]
 //	gsan -workload 505.mcf_r -record run.trace
 //	gsan -replay run.trace -san asan
+//	gsan -serve :8080
 //	gsan -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"giantsan/internal/bench"
 	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
 	"giantsan/internal/lfp"
 	"giantsan/internal/rt"
+	"giantsan/internal/service"
 	"giantsan/internal/trace"
 	"giantsan/internal/workload"
 )
 
 func main() {
-	id := flag.String("workload", "505.mcf_r", "workload ID (see -list)")
-	sanName := flag.String("san", "giantsan", "sanitizer: native, giantsan, asan, asan--, lfp, cacheonly, elimonly")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	list := flag.Bool("list", false, "list workload IDs and exit")
-	record := flag.String("record", "", "record the run to a trace file")
-	replay := flag.String("replay", "", "replay a trace file instead of running a workload")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		for _, w := range workload.All() {
-			fmt.Println(w.ID)
+// run is the whole CLI behind a testable seam: parse args, dispatch one
+// mode, write human output to stdout and diagnostics to stderr, return
+// the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gsan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("workload", "505.mcf_r", "workload ID (see -list)")
+	sanName := fs.String("san", "giantsan", "sanitizer: native, giantsan, asan, asan--, lfp, cacheonly, elimonly")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	list := fs.Bool("list", false, "list workload IDs and exit")
+	record := fs.String("record", "", "record the run to a trace file")
+	replay := fs.String("replay", "", "replay a trace file instead of running a workload")
+	serve := fs.String("serve", "", "serve the sanitization service on this address (e.g. :8080)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The modes are mutually exclusive; a command line that asks for two
+	// of them is a mistake, not a priority question — refuse it.
+	modes := 0
+	for _, on := range []bool{*list, *replay != "", *record != "", *serve != ""} {
+		if on {
+			modes++
 		}
-		return
 	}
-	if *replay != "" {
-		replayTrace(*replay, *sanName)
-		return
+	if modes > 1 {
+		switch {
+		case *replay != "" && *record != "":
+			fmt.Fprintln(stderr, "gsan: -replay and -record are mutually exclusive (replay consumes a trace, record produces one)")
+		case *list:
+			fmt.Fprintln(stderr, "gsan: -list cannot be combined with -record, -replay or -serve")
+		default:
+			fmt.Fprintln(stderr, "gsan: pick one mode: -list, -record, -replay or -serve")
+		}
+		return 2
 	}
-	if *record != "" {
-		recordRun(*id, *scale, *record)
-		return
+
+	switch {
+	case *list:
+		for _, w := range workload.All() {
+			fmt.Fprintln(stdout, w.ID)
+		}
+		return 0
+	case *serve != "":
+		return serveHTTP(*serve, stdout, stderr)
+	case *replay != "":
+		return replayTrace(*replay, *sanName, stdout, stderr)
+	case *record != "":
+		return recordRun(*id, *scale, *record, stdout, stderr)
 	}
+
 	w := workload.ByID(*id)
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "gsan: unknown workload %q (try -list)\n", *id)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsan: unknown workload %q (try -list)\n", *id)
+		return 2
 	}
 	var cfg *bench.SanConfig
 	for _, c := range bench.Configs() {
@@ -62,48 +102,77 @@ func main() {
 		}
 	}
 	if cfg == nil {
-		fmt.Fprintf(os.Stderr, "gsan: unknown sanitizer %q\n", *sanName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsan: unknown sanitizer %q\n", *sanName)
+		return 2
 	}
 
 	elapsed, res, err := bench.RunOnce(w, *cfg, *scale)
 	if err != nil {
 		// Workloads are clean; err means reports were raised — print them.
-		fmt.Printf("%v\n", err)
+		fmt.Fprintf(stdout, "%v\n", err)
 	}
-	fmt.Printf("workload   %s (scale %d)\n", w.ID, *scale)
-	fmt.Printf("sanitizer  %s\n", cfg.Label)
-	fmt.Printf("time       %v\n", elapsed)
+	fmt.Fprintf(stdout, "workload   %s (scale %d)\n", w.ID, *scale)
+	fmt.Fprintf(stdout, "sanitizer  %s\n", cfg.Label)
+	fmt.Fprintf(stdout, "time       %v\n", elapsed)
 	s := res.Stats
-	fmt.Printf("accesses   %d (eliminated %d, cached %d, direct %d)\n",
+	fmt.Fprintf(stdout, "accesses   %d (eliminated %d, cached %d, direct %d)\n",
 		s.Accesses, s.Eliminated, s.Cached, s.Direct)
-	fmt.Printf("checks     %d (%d range, fast %d, slow %d)\n",
+	fmt.Fprintf(stdout, "checks     %d (%d range, fast %d, slow %d)\n",
 		res.San.Checks, res.San.RangeChecks, res.San.FastChecks, res.San.SlowChecks)
-	fmt.Printf("metadata   %d shadow loads, %d cache hits, %d refills\n",
+	fmt.Fprintf(stdout, "metadata   %d shadow loads, %d cache hits, %d refills\n",
 		res.San.ShadowLoads, res.San.CacheHits, res.San.CacheRefills)
-	fmt.Printf("checksum   %#x\n", res.Checksum)
-	fmt.Printf("errors     %d\n", res.Errors.Total())
+	fmt.Fprintf(stdout, "checksum   %#x\n", res.Checksum)
+	fmt.Fprintf(stdout, "errors     %d\n", res.Errors.Total())
 	for i, e := range res.Errors.Errors {
 		if i >= 10 {
-			fmt.Printf("  ... and %d more\n", res.Errors.Total()-10)
+			fmt.Fprintf(stdout, "  ... and %d more\n", res.Errors.Total()-10)
 			break
 		}
-		fmt.Printf("  %v\n", e)
+		fmt.Fprintf(stdout, "  %v\n", e)
+	}
+	return 0
+}
+
+// serveHTTP runs the sanitization service until SIGINT/SIGTERM, then
+// drains: stop admitting, finish in-flight sessions, shut the listener
+// down cleanly.
+func serveHTTP(addr string, stdout, stderr io.Writer) int {
+	eng := service.New(service.Config{})
+	srv := &http.Server{Addr: addr, Handler: service.NewServer(eng)}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "gsan: serving on %s (POST /sessions, GET /metrics)\n", addr)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "gsan: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		eng.Close()
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(stderr, "gsan:", err)
+		eng.Close()
+		return 1
 	}
 }
 
 // recordRun executes the workload under GiantSan with a trace recorder
 // attached and writes the trace to path.
-func recordRun(id string, scale int, path string) {
+func recordRun(id string, scale int, path string, stdout, stderr io.Writer) int {
 	w := workload.ByID(id)
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "gsan: unknown workload %q\n", id)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsan: unknown workload %q\n", id)
+		return 2
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsan:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gsan:", err)
+		return 1
 	}
 	defer f.Close()
 	tw := trace.NewWriter(f)
@@ -111,28 +180,29 @@ func recordRun(id string, scale int, path string) {
 	rec := trace.NewRecorder(inner, tw)
 	ex, err := interp.Prepare(w.Build(scale), instrument.GiantSanProfile, rec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsan:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gsan:", err)
+		return 1
 	}
 	res := ex.Run()
 	if err := tw.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "gsan:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gsan:", err)
+		return 1
 	}
 	if rec.Err() != nil {
-		fmt.Fprintln(os.Stderr, "gsan: recording:", rec.Err())
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gsan: recording:", rec.Err())
+		return 1
 	}
-	fmt.Printf("recorded %s (%d accesses, %d errors) to %s\n",
+	fmt.Fprintf(stdout, "recorded %s (%d accesses, %d errors) to %s\n",
 		id, res.Stats.Accesses, res.Errors.Total(), path)
+	return 0
 }
 
 // replayTrace replays a trace file under the named sanitizer.
-func replayTrace(path, sanName string) {
+func replayTrace(path, sanName string, stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsan:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gsan:", err)
+		return 1
 	}
 	defer f.Close()
 	var run rt.Runtime
@@ -149,21 +219,22 @@ func replayTrace(path, sanName string) {
 		run = lfp.New(lfp.Config{HeapBytes: 64 << 20, MaxClass: 1 << 20})
 		anchored = true
 	default:
-		fmt.Fprintf(os.Stderr, "gsan: cannot replay under %q\n", sanName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsan: cannot replay under %q\n", sanName)
+		return 2
 	}
 	res, err := trace.Replay(f, run, anchored)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsan:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gsan:", err)
+		return 1
 	}
 	st := run.San().Stats()
-	fmt.Printf("replayed %d events under %s: %d errors, %d checks, %d shadow loads\n",
+	fmt.Fprintf(stdout, "replayed %d events under %s: %d errors, %d checks, %d shadow loads\n",
 		res.Events, sanName, res.Errors.Total(), st.Checks, st.ShadowLoads)
 	for i, e := range res.Errors.Errors {
 		if i >= 5 {
 			break
 		}
-		fmt.Printf("  %v\n", e)
+		fmt.Fprintf(stdout, "  %v\n", e)
 	}
+	return 0
 }

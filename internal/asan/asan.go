@@ -63,6 +63,17 @@ func newNamed(sp *vmem.Space, name string) *Sanitizer {
 // Name implements san.Sanitizer.
 func (a *Sanitizer) Name() string { return a.name }
 
+// ResetSpan implements san.Resetter: the segments covering [base,
+// base+size) return to the initial CodeUnallocated image newNamed lays
+// down. Like core's ResetSpan it bills no ShadowStores — recycling is
+// arena maintenance outside the cost model.
+func (a *Sanitizer) ResetSpan(base vmem.Addr, size uint64) {
+	a.sh.ReimageSpan(base, size, CodeUnallocated)
+}
+
+// ResetStats implements san.Resetter.
+func (a *Sanitizer) ResetStats() { a.stats.Reset() }
+
 // Stats implements san.Sanitizer.
 func (a *Sanitizer) Stats() *san.Stats { return &a.stats }
 

@@ -59,6 +59,12 @@ var lfpBuildFailure = map[string]string{
 	"638.imagick_s":   "CE",
 }
 
+// LFPFailure returns the Table 2 failure code ("CE"/"RE") for programs
+// LFP cannot build or run, or "" when the workload is supported. The
+// service layer consults it to refuse LFP sessions that a native LFP
+// toolchain would have rejected at compile time.
+func LFPFailure(id string) string { return lfpBuildFailure[id] }
+
 // Cell is one Table 2 measurement.
 type Cell struct {
 	// Seconds is the median wall time.

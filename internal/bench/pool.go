@@ -5,6 +5,7 @@ import (
 
 	"giantsan/internal/interp"
 	"giantsan/internal/parallel"
+	"giantsan/internal/san"
 )
 
 // Options configures the parallel experiment engine shared by every
@@ -62,8 +63,16 @@ const (
 // virtualDuration converts one run's work counters into its deterministic
 // virtual wall time.
 func virtualDuration(res *interp.Result) time.Duration {
-	sn := res.San
-	cost := res.Stats.Accesses*vAccessNs +
+	return VirtualCost(res.Stats.Accesses, &res.San)
+}
+
+// VirtualCost converts hardware-independent work counters — accesses
+// performed plus a sanitizer's Stats — into the deterministic virtual
+// duration of the cost model above. Exported for the service layer, which
+// bills every session on this clock so per-session deadline enforcement
+// is reproducible across machines and interleavings.
+func VirtualCost(accesses uint64, sn *san.Stats) time.Duration {
+	cost := accesses*vAccessNs +
 		sn.Checks*vCheckNs +
 		sn.ShadowLoads*vShadowLoadNs +
 		sn.SlowChecks*vSlowCheckNs +

@@ -34,6 +34,18 @@ func New(sp *vmem.Space) *Sanitizer {
 // Name implements san.Sanitizer.
 func (g *Sanitizer) Name() string { return "giantsan" }
 
+// ResetSpan implements san.Resetter: the segments covering [base,
+// base+size) return to the initial CodeUnallocated image a fresh New
+// lays down, retiring 8 segments per machine store. Unlike Poison it
+// does not bill ShadowStores — recycling is arena maintenance, not
+// sanitizer work the cost model should see.
+func (g *Sanitizer) ResetSpan(base vmem.Addr, size uint64) {
+	g.sh.ReimageSpan(base, size, CodeUnallocated)
+}
+
+// ResetStats implements san.Resetter.
+func (g *Sanitizer) ResetStats() { g.stats.Reset() }
+
 // Stats implements san.Sanitizer.
 func (g *Sanitizer) Stats() *san.Stats { return &g.stats }
 

@@ -449,3 +449,25 @@ func (a *Allocator) Footprint() uint64 {
 	defer a.mu.Unlock()
 	return uint64(a.bump - a.start)
 }
+
+// Reset returns the allocator to its just-constructed state and reports
+// the arena footprint it released: registry and free lists emptied, the
+// quarantine drained, counters zeroed, and the bump frontier back at the
+// region start. It does not touch shadow memory — the caller (rt.Env.Reset)
+// restores the shadow over the released footprint — and it must not be
+// called while thread caches built on this allocator are still in use:
+// their reserved runs are forgotten here, so a later TCache free would be
+// misclassified. The arena pool resets between sessions, when no caches
+// are live.
+func (a *Allocator) Reset() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	used := uint64(a.bump - a.start)
+	a.bump = a.start
+	clear(a.chunks)
+	clear(a.free)
+	a.quar = nil
+	a.quarLen = 0
+	a.stats = AllocStats{}
+	return used
+}

@@ -83,6 +83,16 @@ func New(sp *vmem.Space) *Oracle {
 	}
 }
 
+// Reset returns the oracle to its just-constructed state: every byte
+// Unallocated and no tracked objects. The arena pool calls it between
+// sessions so a recycled environment's ground truth matches a fresh one.
+func (o *Oracle) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	clear(o.states)
+	clear(o.objects)
+}
+
 func (o *Oracle) idx(a vmem.Addr) int {
 	i := int(a - o.base)
 	if a < o.base || i >= len(o.states) {

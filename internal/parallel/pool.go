@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the persistent sibling of Map: a fixed set of workers draining
+// a bounded task queue, reused across many submissions instead of being
+// rebuilt per experiment matrix. The service layer runs every session
+// through one Pool, so the queue bound doubles as the admission-control
+// backpressure point: TrySubmit refusing a task is what becomes an HTTP
+// 429 upstream.
+//
+// Panic containment: a panicking task never kills its worker goroutine —
+// the worker recovers, reports the value to OnPanic (when set), and moves
+// on to the next task. Callers that need a per-task result on panic (the
+// service does) should additionally recover inside the task itself.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	// sendMu protects sends against the channel close: submitters hold
+	// the read side while sending, Close takes the write side before
+	// closing, so a send can never hit a closed channel. A Submit blocked
+	// on a full queue holds the read lock, which simply delays Close until
+	// a worker frees a slot and the send lands.
+	sendMu sync.RWMutex
+	closed bool
+
+	// OnPanic, when non-nil, receives the value of any panic a task
+	// escaped with. Set it before the first Submit; it runs on the worker
+	// goroutine that recovered.
+	OnPanic func(v any)
+}
+
+// NewPool starts a pool with the given worker count (<= 0 means
+// runtime.GOMAXPROCS(0)) and task queue capacity (<= 0 means unbuffered:
+// every submission needs an idle worker).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				p.run(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one task under the panic guard.
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if v := recover(); v != nil && p.OnPanic != nil {
+			p.OnPanic(v)
+		}
+	}()
+	fn()
+}
+
+// TrySubmit enqueues fn without blocking. It returns false when the queue
+// is full or the pool is closed — the backpressure signal admission
+// control turns into a rejection.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit enqueues fn, blocking while the queue is full. It returns false
+// (without running fn) when the pool is closed. A task must not Submit
+// into its own pool: with every worker busy and the queue full that is a
+// deadlock, exactly as with any bounded executor.
+func (p *Pool) Submit(fn func()) bool {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- fn
+	return true
+}
+
+// QueueDepth returns the number of tasks waiting in the queue (not yet
+// picked up by a worker).
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Close stops admission, drains every queued task, and waits for all
+// workers to finish — the graceful-shutdown path. Safe to call twice.
+func (p *Pool) Close() {
+	p.sendMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.sendMu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 16)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !p.Submit(func() { n.Add(1) }) {
+			t.Fatal("Submit refused on an open pool")
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+}
+
+func TestPoolTrySubmitBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker, then fill the single queue slot.
+	p.Submit(func() { close(started); <-release })
+	<-started
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("queue slot should have been free")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted past the queue bound")
+	}
+	if got := p.QueueDepth(); got != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", got)
+	}
+	close(release)
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := NewPool(1, 8)
+	var n atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func() { close(started); <-release; n.Add(1) })
+	<-started
+	for i := 0; i < 5; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	close(release)
+	<-done
+	if got := n.Load(); got != 6 {
+		t.Fatalf("drain ran %d tasks, want 6", got)
+	}
+	if p.Submit(func() { n.Add(1) }) || p.TrySubmit(func() { n.Add(1) }) {
+		t.Fatal("closed pool accepted a task")
+	}
+}
+
+func TestPoolPanicContainment(t *testing.T) {
+	p := NewPool(2, 4)
+	var panics atomic.Int64
+	p.OnPanic = func(v any) { panics.Add(1) }
+	var ok atomic.Int64
+	for i := 0; i < 8; i++ {
+		i := i
+		p.Submit(func() {
+			if i%2 == 0 {
+				panic("poisoned session")
+			}
+			ok.Add(1)
+		})
+	}
+	p.Close()
+	if got := ok.Load(); got != 4 {
+		t.Fatalf("healthy tasks after panics = %d, want 4 (workers died?)", got)
+	}
+	if got := panics.Load(); got != 4 {
+		t.Fatalf("OnPanic saw %d panics, want 4", got)
+	}
+}
+
+func TestPoolConcurrentSubmitAndClose(t *testing.T) {
+	p := NewPool(4, 2)
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if p.Submit(func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+	// Every accepted task must have run; refused ones must not have.
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("ran %d != accepted %d", ran.Load(), accepted.Load())
+	}
+}

@@ -85,19 +85,26 @@ type Config struct {
 
 // Env is the generic shadow-based runtime.
 type Env struct {
+	cfg    Config // as normalized by New; fixed for the Env's lifetime
 	space  *vmem.Space
 	san    san.Sanitizer
 	heap   *heap.Allocator
 	stack  *stack.Stack
 	oracle *oracle.Oracle
+	// region boundaries, for Reset's targeted scrubbing.
+	heapStart   vmem.Addr
+	stackStart  vmem.Addr
+	globalStart vmem.Addr
 	// globals region: a bump pointer; globals are never freed.
 	globalBump  vmem.Addr
 	globalLimit vmem.Addr
 	globalRZ    uint64
 }
 
-// New builds a runtime per cfg.
-func New(cfg Config) *Env {
+// Normalize returns cfg with New's sizing defaults filled in. Two configs
+// with equal normal forms produce interchangeable Envs, which is the
+// equivalence the service layer's arena pool keys on.
+func (cfg Config) Normalize() Config {
 	if cfg.HeapBytes == 0 {
 		cfg.HeapBytes = 32 << 20
 	}
@@ -107,6 +114,12 @@ func New(cfg Config) *Env {
 	if cfg.GlobalBytes == 0 {
 		cfg.GlobalBytes = 64 << 10
 	}
+	return cfg
+}
+
+// New builds a runtime per cfg.
+func New(cfg Config) *Env {
+	cfg = cfg.Normalize()
 	sp := vmem.NewSpace(cfg.HeapBytes + cfg.StackBytes + cfg.GlobalBytes)
 	var o *oracle.Oracle
 	if cfg.WithOracle {
@@ -147,8 +160,53 @@ func New(cfg Config) *Env {
 	}
 	rz = (rz + 7) &^ 7
 	return &Env{
-		space: sp, san: s, heap: h, stack: st, oracle: o,
+		cfg: cfg, space: sp, san: s, heap: h, stack: st, oracle: o,
+		heapStart: heapStart, stackStart: heapLimit, globalStart: stackLimit,
 		globalBump: stackLimit, globalLimit: sp.Limit(), globalRZ: rz,
+	}
+}
+
+// Config returns the configuration the Env was built with, with New's
+// defaults filled in. Two Envs with equal Configs are interchangeable,
+// which is what the service layer's arena pool keys on.
+func (e *Env) Config() Config { return e.cfg }
+
+// Reset returns the Env to the state a fresh New(cfg) produces, without
+// reallocating anything: the allocators forget their registries, the
+// touched application bytes are zeroed, the touched shadow returns to the
+// pristine unallocated image, Stats are zeroed, and the oracle (when
+// enabled) is cleared. The cost is proportional to the memory the
+// previous run actually dirtied — each region is scrubbed only up to its
+// bump frontier (the stack up to its high-water mark) — not to the arena
+// size, which is what makes pooling Envs cheaper than rebuilding them:
+// a fresh New must allocate and initialize the dense shadow for the whole
+// space every time.
+//
+// The differential reset suite (reset_test.go) enforces byte-for-byte
+// equivalence with a fresh Env for every sanitizer kind, so a pooled
+// arena can never leak one tenant's poison or data into the next.
+func (e *Env) Reset() {
+	rs, ok := e.san.(san.Resetter)
+	if !ok {
+		panic(fmt.Sprintf("rt: sanitizer %s does not support arena reset", e.san.Name()))
+	}
+	heapUsed := e.heap.Reset()
+	stackUsed := e.stack.Reinit()
+	globalUsed := uint64(e.globalBump - e.globalStart)
+	e.globalBump = e.globalStart
+	scrub := func(base vmem.Addr, n uint64) {
+		if n == 0 {
+			return
+		}
+		e.space.Zero(base, n)
+		rs.ResetSpan(base, n)
+	}
+	scrub(e.heapStart, heapUsed)
+	scrub(e.stackStart, stackUsed)
+	scrub(e.globalStart, globalUsed)
+	rs.ResetStats()
+	if e.oracle != nil {
+		e.oracle.Reset()
 	}
 }
 

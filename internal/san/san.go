@@ -119,6 +119,25 @@ type ReferencePath interface {
 	Reference() bool
 }
 
+// Resetter is the arena-recycling extension: sanitizers whose state can be
+// returned to the freshly-constructed condition without reallocating the
+// shadow implement it, which is what lets the service layer pool runtime
+// environments instead of rebuilding them per session.
+//
+// The contract is differential: after ResetSpan over every extent the
+// previous tenant dirtied plus ResetStats, the sanitizer must be
+// observably identical — shadow bytes and Stats — to a freshly built
+// instance over the same space. internal/rt's reset differential suite
+// enforces this for every sanitizer kind, so pooling can never leak one
+// tenant's poison into the next.
+type Resetter interface {
+	// ResetSpan restores the initial ("never allocated") shadow image over
+	// [base, base+size). base and size are segment-aligned by the caller.
+	ResetSpan(base vmem.Addr, size uint64)
+	// ResetStats zeroes the live counters.
+	ResetStats()
+}
+
 // Sanitizer is a complete location-based (or, for LFP, bounds-based) memory
 // error detector.
 type Sanitizer interface {
@@ -134,11 +153,16 @@ type Sanitizer interface {
 // Stats counts the runtime work a sanitizer performed. The evaluation
 // harness uses these to reproduce Figure 10 and to cross-check the timing
 // results of Table 2 with hardware-independent numbers.
+//
+// The JSON field tags are a stable wire schema: the service layer's
+// session responses and /metrics endpoint, and the BENCH_*.json
+// artifacts, all serialize these counters, so the names must not drift
+// with Go identifier renames. TestStatsJSONRoundTrip pins them.
 type Stats struct {
 	// Checks is the number of runtime checks executed.
-	Checks uint64
+	Checks uint64 `json:"checks"`
 	// ShadowLoads is the number of shadow-memory (metadata) loads.
-	ShadowLoads uint64
+	ShadowLoads uint64 `json:"shadow_loads"`
 	// ShadowStores is the number of shadow-memory (metadata) segment
 	// writes the poisoners performed — one per segment touched, the
 	// write-side twin of ShadowLoads. Like ShadowLoads on the wide-scan
@@ -149,20 +173,20 @@ type Stats struct {
 	// calls may run concurrently (the allocators poison outside their
 	// locks — each chunk's shadow is disjoint), so implementations update
 	// this field atomically.
-	ShadowStores uint64
+	ShadowStores uint64 `json:"shadow_stores"`
 	// FastChecks counts GiantSan region checks satisfied by the fast path.
-	FastChecks uint64
+	FastChecks uint64 `json:"fast_checks"`
 	// SlowChecks counts GiantSan region checks needing the slow path.
-	SlowChecks uint64
+	SlowChecks uint64 `json:"slow_checks"`
 	// CacheHits counts accesses satisfied by a quasi-bound without any
 	// metadata load.
-	CacheHits uint64
+	CacheHits uint64 `json:"cache_hits"`
 	// CacheRefills counts quasi-bound reloads.
-	CacheRefills uint64
+	CacheRefills uint64 `json:"cache_refills"`
 	// RangeChecks counts operation-level region checks.
-	RangeChecks uint64
+	RangeChecks uint64 `json:"range_checks"`
 	// Errors counts checks that reported a violation.
-	Errors uint64
+	Errors uint64 `json:"errors"`
 }
 
 // Add accumulates other into s.

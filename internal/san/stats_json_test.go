@@ -1,0 +1,58 @@
+package san
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestStatsJSONRoundTrip pins the Stats wire schema. The service layer's
+// session responses, the /metrics endpoint and the BENCH_*.json artifacts
+// all serialize these counters; renaming a Go field must not silently
+// rename a JSON key consumers depend on.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	in := Stats{
+		Checks: 1, ShadowLoads: 2, ShadowStores: 3, FastChecks: 4,
+		SlowChecks: 5, CacheHits: 6, CacheRefills: 7, RangeChecks: 8,
+		Errors: 9,
+	}
+	raw, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	// Every counter must appear under its frozen snake_case key.
+	var keys map[string]uint64
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatalf("unmarshal into map: %v", err)
+	}
+	want := map[string]uint64{
+		"checks": 1, "shadow_loads": 2, "shadow_stores": 3,
+		"fast_checks": 4, "slow_checks": 5, "cache_hits": 6,
+		"cache_refills": 7, "range_checks": 8, "errors": 9,
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("wire schema drifted:\ngot  %v\nwant %v", keys, want)
+	}
+
+	// And the round trip must reproduce the struct exactly.
+	var out Stats
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip lost data:\ngot  %+v\nwant %+v", out, in)
+	}
+}
+
+// TestStatsJSONTagsComplete fails when a newly added counter lacks a JSON
+// tag, before any consumer starts depending on Go's default field naming.
+func TestStatsJSONTagsComplete(t *testing.T) {
+	st := reflect.TypeOf(Stats{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if tag := f.Tag.Get("json"); tag == "" {
+			t.Errorf("Stats.%s has no json tag; the wire schema must be explicit", f.Name)
+		}
+	}
+}

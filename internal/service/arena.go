@@ -1,0 +1,99 @@
+// Package service is the multi-tenant sanitization session engine: the
+// production shell that turns the repo's one-shot experiment drivers into
+// a server. A session binds one request — a workload run or an uploaded
+// trace replay, under a chosen sanitizer, scale and virtual-clock
+// deadline — to a pooled execution arena, and the engine around it
+// provides bounded admission with backpressure, panic isolation, graceful
+// drain, and a Prometheus-text metrics surface.
+//
+// The arena pool is the headline performance piece: a sanitizer runtime's
+// dominant allocation is its dense shadow array (one byte per 8-byte
+// segment over the whole simulated space), which rt.New builds and
+// initializes from scratch on every construction. Recycling an Env
+// through rt.Env.Reset instead costs time proportional to the memory the
+// previous session actually dirtied, so steady-state sessions skip the
+// arena build entirely. The reset differential suite in internal/rt is
+// what makes this safe: a recycled arena is byte-for-byte equivalent to a
+// fresh one, so no shadow poison, application bytes, counters or oracle
+// state can leak between tenants.
+package service
+
+import (
+	"sync"
+
+	"giantsan/internal/rt"
+)
+
+// ArenaPool recycles rt.Env execution arenas, keyed by their full
+// normalized rt.Config — two sessions share an arena shelf only when a
+// fresh build would have produced interchangeable environments.
+type ArenaPool struct {
+	mu     sync.Mutex
+	perKey int
+	free   map[rt.Config][]*rt.Env
+
+	hits   uint64
+	misses uint64
+}
+
+// ArenaStats is a snapshot of the pool counters.
+type ArenaStats struct {
+	// Hits counts sessions served by a recycled (warm) arena; Misses
+	// counts sessions that had to build a fresh one.
+	Hits, Misses uint64
+	// Size is the number of arenas currently shelved, across all keys.
+	Size int
+}
+
+// NewArenaPool returns a pool shelving at most perKey idle arenas per
+// configuration (<= 0 means 1).
+func NewArenaPool(perKey int) *ArenaPool {
+	if perKey <= 0 {
+		perKey = 1
+	}
+	return &ArenaPool{perKey: perKey, free: make(map[rt.Config][]*rt.Env)}
+}
+
+// Get returns an arena for cfg and whether it was recycled (warm). A
+// cold get builds a fresh environment.
+func (p *ArenaPool) Get(cfg rt.Config) (env *rt.Env, warm bool) {
+	cfg = cfg.Normalize() // match the key Put derives from env.Config()
+	p.mu.Lock()
+	if list := p.free[cfg]; len(list) > 0 {
+		env = list[len(list)-1]
+		p.free[cfg] = list[:len(list)-1]
+		p.hits++
+		p.mu.Unlock()
+		return env, true
+	}
+	p.misses++
+	p.mu.Unlock()
+	// Build outside the lock: construction is the expensive path and must
+	// not serialize concurrent cold sessions.
+	return rt.New(cfg), false
+}
+
+// Put resets env and shelves it for reuse. Arenas beyond the per-key
+// bound are dropped on the floor for the GC; a session that panicked must
+// NOT Put its arena back (its state is suspect), which the engine
+// enforces by only reaching Put on the success path.
+func (p *ArenaPool) Put(env *rt.Env) {
+	env.Reset()
+	cfg := env.Config()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free[cfg]) < p.perKey {
+		p.free[cfg] = append(p.free[cfg], env)
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *ArenaPool) Stats() ArenaStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	size := 0
+	for _, list := range p.free {
+		size += len(list)
+	}
+	return ArenaStats{Hits: p.hits, Misses: p.misses, Size: size}
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/vmem"
+)
+
+// The arena-pool acceptance numbers: recycling a warm arena must beat
+// building a cold one. A cold rt.New pays a byte-wise CodeUnallocated
+// fill over the whole shadow; Reset scrubs only the bytes a session
+// actually dirtied, so the gap widens with arena size.
+//
+//	go test ./internal/service -bench Arena -benchtime 100x
+
+var benchCfg = rt.Config{Kind: rt.GiantSan, HeapBytes: 32 << 20}
+
+// dirtySession is a representative light tenant: a few allocations,
+// some checked accesses, one free.
+func dirtySession(env *rt.Env) {
+	sn := env.San()
+	ptrs := make([]vmem.Addr, 0, 16)
+	for i := 0; i < 16; i++ {
+		p, err := env.Malloc(1 << 12)
+		if err != nil {
+			panic(err)
+		}
+		sn.CheckAccess(p, 8, report.Write)
+		sn.CheckAccess(p+4088, 8, report.Read)
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		env.Free(p)
+	}
+}
+
+func BenchmarkArenaColdNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := rt.New(benchCfg)
+		dirtySession(env)
+	}
+}
+
+func BenchmarkArenaWarmRecycle(b *testing.B) {
+	pool := NewArenaPool(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, _ := pool.Get(benchCfg)
+		dirtySession(env)
+		pool.Put(env)
+	}
+	b.StopTimer()
+	st := pool.Stats()
+	hitRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+	b.ReportMetric(100*hitRate, "pool-hit-%")
+}
+
+// BenchmarkServiceSession measures the full request path (validate,
+// enqueue, execute, respond) at steady state, where nearly every session
+// runs on a recycled arena.
+func BenchmarkServiceSession(b *testing.B) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	req := Request{Workload: stressWorkload, Sanitizer: "giantsan"}
+	if _, err := e.Submit(req); err != nil { // prime the pool
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Submit(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := e.ArenaStats()
+	b.ReportMetric(100*float64(st.Hits)/float64(st.Hits+st.Misses), "pool-hit-%")
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"giantsan/internal/workload"
+)
+
+// Server is the HTTP/JSON front-end over an Engine (the gsan -serve
+// surface):
+//
+//	POST /sessions  — run one session; body is a Request, reply a Response
+//	GET  /metrics   — Prometheus text exposition of the engine counters
+//	GET  /workloads — the runnable workload IDs, one JSON array
+//	GET  /healthz   — liveness probe
+//
+// Admission control maps onto status codes: 429 (queue full, with
+// Retry-After), 503 (draining), 400 (malformed request). A session that
+// runs always answers 200, whatever it detected: memory-error reports are
+// the service's product, and even a panicked-and-isolated session reports
+// its own failure in-band as status "error".
+type Server struct {
+	eng *Engine
+	mux *http.ServeMux
+}
+
+// NewServer wraps eng in the HTTP surface.
+func NewServer(eng *Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/sessions", s.handleSessions)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine returns the wrapped engine (for shutdown wiring).
+func (s *Server) Engine() *Engine { return s.eng }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST a session request"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"decode: " + err.Error()})
+		return
+	}
+	resp, err := s.eng.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.eng.WriteMetrics(w)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	ids := make([]string, 0)
+	for _, wl := range workload.All() {
+		ids = append(ids, wl.ID)
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

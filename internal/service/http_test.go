@@ -1,0 +1,197 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	eng := New(Config{Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	// Workload session over the wire.
+	resp, body := postJSON(t, srv.URL+"/sessions",
+		`{"workload":"`+stressWorkload+`","sanitizer":"giantsan"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /sessions = %d: %s", resp.StatusCode, body)
+	}
+	var out Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, body)
+	}
+	if out.Status != StatusOK || out.Stats.Checks == 0 {
+		t.Fatalf("session response: %+v", out)
+	}
+
+	// Trace replay session over the wire.
+	tr := recordTrace(t, stressWorkload)
+	resp, body = postJSON(t, srv.URL+"/sessions",
+		`{"trace_b64":"`+tr+`","sanitizer":"asan"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST replay = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode replay response: %v", err)
+	}
+	if out.Status != StatusOK || out.Events == 0 {
+		t.Fatalf("replay response: %+v", out)
+	}
+
+	// Metrics must expose service counters, per-sanitizer work, pool state.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	metrics := mbuf.String()
+	for _, want := range []string{
+		"gsan_sessions_started_total 2",
+		"gsan_sessions_completed_total 2",
+		"gsan_arena_pool_misses_total",
+		`gsan_san_checks_total{sanitizer="giantsan"}`,
+		`gsan_san_checks_total{sanitizer="asan"}`,
+		"gsan_queue_depth 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed json", `{"workload":`},
+		{"unknown field", `{"workload":"` + stressWorkload + `","speed":11}`},
+		{"unknown sanitizer", `{"workload":"` + stressWorkload + `","sanitizer":"valgrind"}`},
+		{"workload and trace", `{"workload":"` + stressWorkload + `","trace_b64":"AA=="}`},
+		{"neither", `{}`},
+	} {
+		resp, body := postJSON(t, srv.URL+"/sessions", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q not structured", tc.name, body)
+		}
+	}
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /sessions = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	eng := New(Config{Workers: 1, QueueDepth: 1, OnSessionStart: func(*Request) {
+		entered <- struct{}{}
+		<-gate
+	}})
+	defer eng.Close()
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	body := `{"workload":"` + stressWorkload + `","sanitizer":"native"}`
+	done := make(chan struct{}, 2)
+	fire := func() {
+		resp, _ := postJSON(t, srv.URL+"/sessions", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("admitted session status %d", resp.StatusCode)
+		}
+		done <- struct{}{}
+	}
+	go fire() // occupies the worker
+	<-entered
+	go fire() // fills the queue slot
+	waitQueueDepth(eng, 1)
+
+	resp, b := postJSON(t, srv.URL+"/sessions", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d (%s), want 429", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(gate)
+	<-done
+	<-done
+
+	eng.Close()
+	resp, _ = postJSON(t, srv.URL+"/sessions", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPWorkloadsAndHealth(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	json.NewDecoder(resp.Body).Decode(&ids)
+	resp.Body.Close()
+	if len(ids) == 0 {
+		t.Fatal("no workloads listed")
+	}
+	found := false
+	for _, id := range ids {
+		if id == stressWorkload {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("%s missing from /workloads: %v", stressWorkload, ids)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+}

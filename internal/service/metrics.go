@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+
+	"giantsan/internal/san"
+)
+
+// WriteMetrics renders the engine's state in Prometheus text exposition
+// format: service counters (sessions, queue, arena pool), the sanitizer
+// work counters aggregated per sanitizer label, and the error-report
+// totals per report kind. Output order is deterministic (struct field
+// order, sorted label values) so scrapes diff cleanly.
+func (e *Engine) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("gsan_sessions_started_total", "Sessions that began executing.", e.m.started.Load())
+	counter("gsan_sessions_completed_total", "Sessions that finished (any status).", e.m.completed.Load())
+	counter("gsan_sessions_rejected_total", "Sessions refused by admission control.", e.m.rejected.Load())
+	counter("gsan_sessions_timedout_total", "Sessions whose virtual-clock bill exceeded their deadline.", e.m.timedout.Load())
+	counter("gsan_sessions_panicked_total", "Sessions that panicked and were isolated.", e.m.panicked.Load())
+	gauge("gsan_queue_depth", "Admitted sessions waiting for a worker.", e.QueueDepth())
+
+	as := e.arenas.Stats()
+	counter("gsan_arena_pool_hits_total", "Sessions served by a recycled arena.", as.Hits)
+	counter("gsan_arena_pool_misses_total", "Sessions that built a fresh arena.", as.Misses)
+	gauge("gsan_arena_pool_size", "Idle arenas currently shelved.", as.Size)
+
+	e.mu.Lock()
+	labels := make([]string, 0, len(e.perSan))
+	for l := range e.perSan {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	stats := make(map[string]san.Stats, len(labels))
+	for _, l := range labels {
+		stats[l] = *e.perSan[l]
+	}
+	kinds := make([]string, 0, len(e.errKinds))
+	for k := range e.errKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	kindTotals := make(map[string]uint64, len(kinds))
+	for _, k := range kinds {
+		kindTotals[k] = e.errKinds[k]
+	}
+	e.mu.Unlock()
+
+	// One metric family per san.Stats counter, named after its frozen
+	// JSON tag (the same wire schema the session responses use), with one
+	// sample per sanitizer label.
+	st := reflect.TypeOf(san.Stats{})
+	for i := 0; i < st.NumField(); i++ {
+		tag := st.Field(i).Tag.Get("json")
+		name := "gsan_san_" + tag + "_total"
+		fmt.Fprintf(w, "# HELP %s Aggregated san.Stats.%s across completed sessions.\n# TYPE %s counter\n",
+			name, st.Field(i).Name, name)
+		for _, l := range labels {
+			v := reflect.ValueOf(stats[l]).Field(i).Uint()
+			fmt.Fprintf(w, "%s{sanitizer=%q} %d\n", name, l, v)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP gsan_error_reports_total Memory-error reports raised by sessions, by kind.\n# TYPE gsan_error_reports_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "gsan_error_reports_total{kind=%q} %d\n", k, kindTotals[k])
+	}
+}

@@ -1,0 +1,436 @@
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"giantsan/internal/bench"
+	"giantsan/internal/interp"
+	"giantsan/internal/lfp"
+	"giantsan/internal/parallel"
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/san"
+	"giantsan/internal/trace"
+	"giantsan/internal/workload"
+)
+
+// Admission errors. The HTTP layer maps them to status codes (429, 503);
+// every other Submit error is a malformed request (400).
+var (
+	// ErrQueueFull is returned when the bounded admission queue refuses a
+	// session — the backpressure signal.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining is returned once Close has begun: the server finishes
+	// queued sessions but admits no new ones.
+	ErrDraining = errors.New("service: draining, not accepting sessions")
+)
+
+// Session statuses.
+const (
+	// StatusOK is a session that ran to completion within its deadline.
+	// Memory-error reports do NOT make a session fail: finding errors is
+	// the service's product, so they ride on an "ok" session.
+	StatusOK = "ok"
+	// StatusTimeout is a session whose virtual-clock bill exceeded its
+	// deadline.
+	StatusTimeout = "timeout"
+	// StatusError is a session that could not run (bad workload, broken
+	// trace, panic): the Message field says why.
+	StatusError = "error"
+)
+
+// Request is the session request schema (the POST /sessions body).
+// Exactly one of Workload and TraceB64 must be set.
+type Request struct {
+	// Workload is a SPEC-like workload ID (see workload.All / GET
+	// /workloads) to execute.
+	Workload string `json:"workload,omitempty"`
+	// TraceB64 is a standard-base64-encoded memory-operation trace (the
+	// gsan -record format) to replay instead of running a workload.
+	TraceB64 string `json:"trace_b64,omitempty"`
+	// Sanitizer selects the configuration by label: native, giantsan,
+	// asan, asan--, lfp, cacheonly, elimonly. Empty means giantsan.
+	Sanitizer string `json:"sanitizer,omitempty"`
+	// Scale is the workload scale factor (>= 1; 0 means 1).
+	Scale int `json:"scale,omitempty"`
+	// DeadlineNs is the session's virtual-clock budget in nanoseconds.
+	// Virtual time is the deterministic cost model of the bench engine
+	// (accesses, checks, shadow traffic), so deadline enforcement is
+	// reproducible across machines and interleavings. 0 means the
+	// engine's default; < 0 is rejected.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+}
+
+// Response is one session's outcome (the POST /sessions reply).
+type Response struct {
+	Session   uint64 `json:"session"`
+	Status    string `json:"status"`
+	Sanitizer string `json:"sanitizer"`
+	Workload  string `json:"workload,omitempty"`
+	// Arena says how the execution environment was obtained: "warm" (from
+	// the pool), "cold" (freshly built), or "unpooled" (LFP, whose
+	// allocator-is-the-metadata runtime is not recyclable).
+	Arena string `json:"arena"`
+	// VirtualNs is the session's deterministic virtual-clock bill;
+	// WallNs the wall time the run took on this machine.
+	VirtualNs  int64 `json:"virtual_ns"`
+	WallNs     int64 `json:"wall_ns"`
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+	// Events is the number of replayed trace events (replay sessions).
+	Events int `json:"events,omitempty"`
+	// Checksum is the workload's value digest, hex-encoded (64-bit values
+	// do not survive JSON numbers intact).
+	Checksum string `json:"checksum,omitempty"`
+	// Stats is the sanitizer work the session performed.
+	Stats san.Stats `json:"stats"`
+	// ErrorTotal counts every memory-error report the session raised;
+	// Errors renders the first few.
+	ErrorTotal int      `json:"error_total"`
+	Errors     []string `json:"errors,omitempty"`
+	// Message explains StatusError.
+	Message string `json:"message,omitempty"`
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of concurrent session executors; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue (sessions accepted but not
+	// yet executing); <= 0 means 64. Overflow is rejected with
+	// ErrQueueFull, not queued unboundedly — bounded memory beats
+	// unbounded latency under overload.
+	QueueDepth int
+	// ArenasPerKey bounds idle pooled arenas per runtime configuration;
+	// <= 0 means Workers (the most that can be in flight at once).
+	ArenasPerKey int
+	// ReplayHeapBytes sizes the heap for trace-replay sessions; 0 means
+	// 64 MiB (the gsan -replay default).
+	ReplayHeapBytes uint64
+	// DefaultDeadlineNs applies to requests that do not set a deadline;
+	// 0 means no deadline.
+	DefaultDeadlineNs int64
+	// OnSessionStart, when non-nil, runs on the worker goroutine before
+	// each session executes — an observability hook (and the lever the
+	// panic-isolation tests use).
+	OnSessionStart func(*Request)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ArenasPerKey <= 0 {
+		c.ArenasPerKey = c.Workers
+	}
+	if c.ReplayHeapBytes == 0 {
+		c.ReplayHeapBytes = 64 << 20
+	}
+	return c
+}
+
+// counters is the service-level metric set, updated atomically from
+// worker goroutines and read by /metrics.
+type counters struct {
+	started   atomic.Uint64
+	completed atomic.Uint64
+	rejected  atomic.Uint64
+	timedout  atomic.Uint64
+	panicked  atomic.Uint64
+}
+
+// Engine is the multi-tenant session engine: a bounded admission queue in
+// front of a persistent worker pool, executing each session in a pooled
+// (or fresh) arena with panic isolation.
+type Engine struct {
+	cfg    Config
+	pool   *parallel.Pool
+	arenas *ArenaPool
+	m      counters
+	nextID atomic.Uint64
+
+	// mu guards the aggregated per-sanitizer stats, the per-kind error
+	// report totals, and the draining flag.
+	mu       sync.Mutex
+	perSan   map[string]*san.Stats
+	errKinds map[string]uint64
+	draining bool
+}
+
+// New starts an engine per cfg. Callers must Close it to drain.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		pool:     parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		arenas:   NewArenaPool(cfg.ArenasPerKey),
+		perSan:   make(map[string]*san.Stats),
+		errKinds: make(map[string]uint64),
+	}
+	return e
+}
+
+// Close begins the graceful drain: no new sessions are admitted, queued
+// and running sessions finish, then Close returns. Safe to call twice.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+	e.pool.Close()
+}
+
+// sanConfigByLabel resolves a sanitizer label to its Table 2 column.
+func sanConfigByLabel(label string) *bench.SanConfig {
+	for _, c := range bench.Configs() {
+		if c.Label == label {
+			c := c
+			return &c
+		}
+	}
+	return nil
+}
+
+// validate normalizes req in place and rejects malformed requests. It is
+// called on the submitter's goroutine so schema errors never consume a
+// queue slot.
+func (e *Engine) validate(req *Request) error {
+	if req.Sanitizer == "" {
+		req.Sanitizer = "giantsan"
+	}
+	if sanConfigByLabel(req.Sanitizer) == nil {
+		return fmt.Errorf("unknown sanitizer %q", req.Sanitizer)
+	}
+	if (req.Workload == "") == (req.TraceB64 == "") {
+		return errors.New("exactly one of workload and trace_b64 must be set")
+	}
+	if req.Workload != "" && workload.ByID(req.Workload) == nil {
+		return fmt.Errorf("unknown workload %q (see GET /workloads)", req.Workload)
+	}
+	if req.Scale < 0 {
+		return fmt.Errorf("scale %d must be >= 1", req.Scale)
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if req.DeadlineNs < 0 {
+		return fmt.Errorf("deadline_ns %d must be >= 0", req.DeadlineNs)
+	}
+	if req.DeadlineNs == 0 {
+		req.DeadlineNs = e.cfg.DefaultDeadlineNs
+	}
+	return nil
+}
+
+// Submit admits one session and blocks until its response is ready.
+// Validation errors come back directly; ErrQueueFull and ErrDraining are
+// the admission-control outcomes.
+func (e *Engine) Submit(req Request) (*Response, error) {
+	if err := e.validate(&req); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	e.mu.Unlock()
+	done := make(chan *Response, 1)
+	ok := e.pool.TrySubmit(func() { done <- e.runSession(&req) })
+	if !ok {
+		e.m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	return <-done, nil
+}
+
+// QueueDepth returns the number of admitted sessions not yet executing.
+func (e *Engine) QueueDepth() int { return e.pool.QueueDepth() }
+
+// ArenaStats exposes the arena pool counters.
+func (e *Engine) ArenaStats() ArenaStats { return e.arenas.Stats() }
+
+// runSession executes one session on a worker goroutine. Panic isolation
+// lives here: whatever a poisoned session does, the worker survives, the
+// panicking session's arena is abandoned (never returned to the pool),
+// and the tenant gets a StatusError response instead of taking the server
+// down with it.
+func (e *Engine) runSession(req *Request) (resp *Response) {
+	id := e.nextID.Add(1)
+	e.m.started.Add(1)
+	defer func() {
+		if v := recover(); v != nil {
+			e.m.panicked.Add(1)
+			resp = &Response{
+				Session: id, Status: StatusError, Sanitizer: req.Sanitizer,
+				Workload: req.Workload, Arena: "cold",
+				Message: fmt.Sprintf("session panic (isolated): %v", v),
+			}
+		}
+	}()
+	if hook := e.cfg.OnSessionStart; hook != nil {
+		hook(req)
+	}
+	if req.TraceB64 != "" {
+		resp = e.runReplay(id, req)
+	} else {
+		resp = e.runWorkload(id, req)
+	}
+	e.finish(req.Sanitizer, resp)
+	return resp
+}
+
+// finish applies deadline classification and folds the session's work
+// into the service-wide aggregates.
+func (e *Engine) finish(label string, resp *Response) {
+	if resp.Status == StatusOK && resp.DeadlineNs > 0 && resp.VirtualNs > resp.DeadlineNs {
+		resp.Status = StatusTimeout
+		e.m.timedout.Add(1)
+	}
+	e.m.completed.Add(1)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	agg := e.perSan[label]
+	if agg == nil {
+		agg = &san.Stats{}
+		e.perSan[label] = agg
+	}
+	agg.Add(&resp.Stats)
+}
+
+// recordErrors renders the session's error reports into resp and feeds
+// the per-kind service totals.
+func (e *Engine) recordErrors(resp *Response, log *report.Log) {
+	resp.ErrorTotal = log.Total()
+	for i, err := range log.Errors {
+		if i >= 10 {
+			break
+		}
+		resp.Errors = append(resp.Errors, err.Error())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, err := range log.Errors {
+		e.errKinds[err.Kind.String()]++
+	}
+}
+
+// errorResponse builds a StatusError reply.
+func errorResponse(id uint64, req *Request, arena, msg string) *Response {
+	return &Response{
+		Session: id, Status: StatusError, Sanitizer: req.Sanitizer,
+		Workload: req.Workload, Arena: arena, Message: msg,
+	}
+}
+
+// runWorkload executes a workload session.
+func (e *Engine) runWorkload(id uint64, req *Request) *Response {
+	cfg := sanConfigByLabel(req.Sanitizer)
+	w := workload.ByID(req.Workload)
+	heapBytes := w.HeapBytes * uint64(req.Scale)
+
+	var (
+		env   rt.Runtime
+		arena = "unpooled"
+	)
+	if cfg.IsLFP {
+		if fail := bench.LFPFailure(w.ID); fail != "" {
+			return errorResponse(id, req, arena,
+				fmt.Sprintf("lfp cannot run %s (%s, Table 2)", w.ID, fail))
+		}
+		env = lfp.New(lfp.Config{HeapBytes: heapBytes * 2, MaxClass: 1 << 20})
+	} else {
+		pooled, warm := e.arenas.Get(rt.Config{
+			Kind: cfg.Kind, HeapBytes: heapBytes, Reference: cfg.Profile.Reference,
+		})
+		env = pooled
+		arena = "cold"
+		if warm {
+			arena = "warm"
+		}
+	}
+
+	ex, err := interp.Prepare(w.Build(req.Scale), cfg.Profile, env)
+	if err != nil {
+		return errorResponse(id, req, arena, fmt.Sprintf("prepare: %v", err))
+	}
+	start := time.Now()
+	res := ex.Run()
+	wall := time.Since(start)
+
+	resp := &Response{
+		Session: id, Status: StatusOK, Sanitizer: req.Sanitizer,
+		Workload: w.ID, Arena: arena,
+		VirtualNs:  int64(bench.VirtualCost(res.Stats.Accesses, &res.San)),
+		WallNs:     wall.Nanoseconds(),
+		DeadlineNs: req.DeadlineNs,
+		Checksum:   fmt.Sprintf("%#x", res.Checksum),
+		Stats:      res.San,
+	}
+	e.recordErrors(resp, &res.Errors)
+	if pooled, ok := env.(*rt.Env); ok {
+		e.arenas.Put(pooled)
+	}
+	return resp
+}
+
+// runReplay executes a trace-replay session.
+func (e *Engine) runReplay(id uint64, req *Request) *Response {
+	cfg := sanConfigByLabel(req.Sanitizer)
+	data, err := base64.StdEncoding.DecodeString(req.TraceB64)
+	if err != nil {
+		return errorResponse(id, req, "cold", fmt.Sprintf("trace_b64: %v", err))
+	}
+
+	var (
+		env   rt.Runtime
+		arena = "unpooled"
+	)
+	if cfg.IsLFP {
+		env = lfp.New(lfp.Config{HeapBytes: e.cfg.ReplayHeapBytes, MaxClass: 1 << 20})
+	} else {
+		pooled, warm := e.arenas.Get(rt.Config{
+			Kind: cfg.Kind, HeapBytes: e.cfg.ReplayHeapBytes, Reference: cfg.Profile.Reference,
+		})
+		env = pooled
+		arena = "cold"
+		if warm {
+			arena = "warm"
+		}
+	}
+
+	start := time.Now()
+	res, err := trace.Replay(bytes.NewReader(data), env, cfg.Profile.Anchor)
+	wall := time.Since(start)
+	if err != nil {
+		// A malformed trace leaves the arena's state valid (Replay applies
+		// well-formed prefix operations only), but drop it anyway: trace
+		// errors are rare and a fresh arena is cheap insurance.
+		return errorResponse(id, req, arena, fmt.Sprintf("replay: %v", err))
+	}
+
+	stats := env.San().Stats().Clone()
+	resp := &Response{
+		Session: id, Status: StatusOK, Sanitizer: req.Sanitizer,
+		Arena:      arena,
+		VirtualNs:  int64(bench.VirtualCost(uint64(res.Events), stats)),
+		WallNs:     wall.Nanoseconds(),
+		DeadlineNs: req.DeadlineNs,
+		Events:     res.Events,
+		Stats:      *stats,
+	}
+	e.recordErrors(resp, &res.Errors)
+	if pooled, ok := env.(*rt.Env); ok {
+		e.arenas.Put(pooled)
+	}
+	return resp
+}

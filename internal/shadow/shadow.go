@@ -155,6 +155,19 @@ func (m *Memory) Fill64(p, n int, v uint8) {
 	}
 }
 
+// ReimageSpan returns the segments covering the address span [a, a+size)
+// to one uniform code — the arena-recycling reinitialization hook. It
+// rounds size up to whole segments (a recycled span's tail segment must
+// not keep stale codes) and retires 8 segments per machine store via
+// Fill64. Reimaging is arena maintenance, not sanitizer work: callers
+// deliberately bypass the Stats counters.
+func (m *Memory) ReimageSpan(a vmem.Addr, size uint64, v uint8) {
+	if size == 0 {
+		return
+	}
+	m.Fill64(m.Index(a), int((size+SegSize-1)>>SegShift), v)
+}
+
 // StoreWide sets the codes of the 8 consecutive segments starting at
 // segment index p from one packed little-endian word (segment p takes the
 // low byte) — the store dual of LoadWide. p+8 must not exceed NumSegments.

@@ -170,3 +170,24 @@ func TestSegStart(t *testing.T) {
 		t.Error("SegStart and Index do not round-trip")
 	}
 }
+
+// ReimageSpan must restore exactly the segments covering the span —
+// including a partially-covered tail segment — and nothing beyond.
+func TestReimageSpan(t *testing.T) {
+	sp := vmem.NewSpace(1 << 12)
+	m := New(sp)
+	for _, size := range []uint64{0, 1, 7, 8, 9, 64, 100, 4096} {
+		m.Fill(0, m.NumSegments(), 0xAB) // dirty everything
+		m.ReimageSpan(sp.Base(), size, 0x07)
+		covered := int((size + SegSize - 1) >> SegShift)
+		for i := 0; i < m.NumSegments(); i++ {
+			want := uint8(0xAB)
+			if i < covered {
+				want = 0x07
+			}
+			if got := m.Load(sp.Base() + vmem.Addr(i)*SegSize); got != want {
+				t.Fatalf("size %d: segment %d = %#x, want %#x", size, i, got, want)
+			}
+		}
+	}
+}

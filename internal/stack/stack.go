@@ -42,12 +42,17 @@ type Stack struct {
 	p     san.Poisoner
 	// cp and fp are p's batching extensions, resolved once at construction;
 	// nil when the poisoner only implements the base interface.
-	cp     san.ChunkPoisoner
-	fp     san.FramePoisoner
-	rz     uint64
-	start  vmem.Addr
-	limit  vmem.Addr
-	bump   vmem.Addr
+	cp    san.ChunkPoisoner
+	fp    san.FramePoisoner
+	rz    uint64
+	start vmem.Addr
+	limit vmem.Addr
+	bump  vmem.Addr
+	// high is the high-water mark of the bump frontier: Pop recycles bump
+	// downward, but the shadow (and simulated memory) stay dirty up to the
+	// highest frame ever pushed, which is the extent arena recycling must
+	// scrub.
+	high   vmem.Addr
 	frames []*frame
 	// DetectUAR controls whether popped frames are poisoned as
 	// stack-after-return (true) or unpoisoned for reuse (false).
@@ -89,6 +94,7 @@ func New(space *vmem.Space, p san.Poisoner, cfg Config) *Stack {
 		start:     start,
 		limit:     limit,
 		bump:      start,
+		high:      start,
 		DetectUAR: cfg.DetectUAR,
 		Oracle:    cfg.Oracle,
 	}
@@ -123,6 +129,7 @@ func (s *Stack) AllocaLabeled(size uint64, label string) vmem.Addr {
 	start := s.bump
 	base := start + vmem.Addr(s.rz)
 	s.bump += vmem.Addr(need)
+	s.high = max(s.high, s.bump)
 	f.locals = append(f.locals, local{base: base, size: size})
 
 	s.poisonLocal(start, size)
@@ -176,6 +183,7 @@ func (s *Stack) PushLocals(sizes ...uint64) []vmem.Addr {
 		panic(fmt.Sprintf("stack: simulated stack exhausted (need %d bytes)", need))
 	}
 	s.bump += need
+	s.high = max(s.high, s.bump)
 	if s.fp != nil {
 		s.fp.PoisonFrame(start, s.rz, sizes)
 	} else {
@@ -231,6 +239,25 @@ func (s *Stack) Pop() {
 
 // Depth returns the number of open frames.
 func (s *Stack) Depth() int { return len(s.frames) }
+
+// HighWater returns one past the highest stack address any frame ever
+// reached. Pop lowers the bump frontier but leaves shadow and memory
+// dirty up to this mark, so it bounds the extent arena recycling scrubs.
+func (s *Stack) HighWater() vmem.Addr { return s.high }
+
+// Reinit returns the stack to its just-constructed state and reports the
+// arena footprint it releases ([start, HighWater)). Unlike Reset it does
+// not poison anything: the caller (rt.Env.Reset) restores the shadow over
+// the released extent to the pristine unallocated image, erasing redzones
+// and after-return codes alike so a recycled arena is indistinguishable
+// from a fresh one.
+func (s *Stack) Reinit() uint64 {
+	used := uint64(s.high - s.start)
+	s.frames = s.frames[:0]
+	s.bump = s.start
+	s.high = s.start
+	return used
+}
 
 // Reset pops everything and recycles the whole stack region. Detection
 // suites call it between cases.

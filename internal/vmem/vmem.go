@@ -157,6 +157,17 @@ func (s *Space) Memset(a Addr, b byte, n uint64) {
 	}
 }
 
+// Zero resets the n bytes at address a to zero, the state a fresh space
+// starts in. The arena pool uses it to scrub exactly the regions a
+// recycled run dirtied instead of reallocating the whole space.
+func (s *Space) Zero(a Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	off := s.offset(a, n)
+	clear(s.data[off : off+n])
+}
+
 // Memcpy copies n bytes from src to dst within the space. Overlapping
 // regions copy as memmove does (correctly).
 func (s *Space) Memcpy(dst, src Addr, n uint64) {
