@@ -9,6 +9,7 @@
 //	giantbench -exp fig11
 //	giantbench -exp hotpath [-hotpath-out BENCH_hotpath.json]
 //	giantbench -exp metapath [-metapath-out BENCH_metapath.json]
+//	giantbench -exp tiers [-tiers-out BENCH_tiers.json] [-tiers-check]
 //	giantbench -exp all
 //
 // -hotpath is shorthand for -exp hotpath: it microbenchmarks the checker
@@ -23,6 +24,13 @@
 // BENCH_metapath.json. -metapath-min F fails the run when a GiantSan
 // churn's geomean fast-vs-reference speedup lands below F (the CI sanity
 // gate).
+//
+// -exp tiers measures the service's sanitization-tier ladder (full →
+// elim → cheap → sampled): virtual-clock ns/session over a workload mix
+// against planted-bug detection rate on the progen corpus, written to
+// BENCH_tiers.json — the cost/coverage curve behind load-driven tier
+// downgrade. -tiers-check fails the run unless cost is strictly monotone
+// down the ladder and detection never increases (the CI gate).
 //
 // Engine flags:
 //
@@ -57,7 +65,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
@@ -67,6 +75,9 @@ func main() {
 	metapathOut := flag.String("metapath-out", "BENCH_metapath.json", "output path for the metapath report")
 	metapathOps := flag.Int("metapath-ops", 0, "operations per metapath batch; 0 = default")
 	metapathMin := flag.Float64("metapath-min", 0, "fail unless every GiantSan churn speedup ≥ this floor; 0 disables")
+	tiersOut := flag.String("tiers-out", "BENCH_tiers.json", "output path for the tiers report")
+	tiersSeeds := flag.Int("tiers-seeds", 0, "planted-bug corpus seeds for the tiers suite; 0 = default")
+	tiersCheck := flag.Bool("tiers-check", false, "fail unless tier cost is strictly monotone down the ladder and detection never increases")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (table2, ablation, fig10)")
 	par := flag.Int("parallel", 0, "matrix worker count; 0 = GOMAXPROCS")
 	timeout := flag.Duration("timeout", 0, "per-item timeout guard; 0 disables")
@@ -223,6 +234,38 @@ func main() {
 			if err := metapath.AssertFloor(rep, *metapathMin, keys...); err != nil {
 				return err
 			}
+		}
+		return nil
+	})
+	run("tiers", func() error {
+		rep, err := bench.TiersRun(*tiersSeeds, engine("tiers"))
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*tiersOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("Sanitization tiers — virtual ns/session vs planted-bug detection per ladder rung")
+			fmt.Println(bench.RenderTiers(rep))
+			fmt.Printf("(written to %s)\n", *tiersOut)
+		}
+		if *tiersCheck {
+			return bench.CheckMonotone(rep)
 		}
 		return nil
 	})

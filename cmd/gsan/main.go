@@ -7,10 +7,20 @@
 // Usage:
 //
 //	gsan -workload 505.mcf_r -san giantsan [-scale N]
+//	gsan -workload 505.mcf_r -tier sampled
 //	gsan -workload 505.mcf_r -record run.trace
 //	gsan -replay run.trace -san asan
-//	gsan -serve :8080
+//	gsan -serve :8080 [-serve-workers N] [-serve-queue N] [-max-heap-bytes N]
+//	     [-tier-budget-ns N] [-tier-window N]
 //	gsan -list
+//
+// -tier runs the workload at a rung of the service's sanitization ladder
+// (full, elim, cheap, sampled) instead of naming an exact sanitizer. In
+// serve mode, -tier-budget-ns and -tier-window configure the adaptive
+// admission controller: tiered sessions degrade to cheaper rungs under
+// queue pressure or when the rolling mean virtual bill blows the budget,
+// and are only rejected with 429 when even the cheapest rung has no
+// queue slot.
 package main
 
 import (
@@ -45,12 +55,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gsan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	id := fs.String("workload", "505.mcf_r", "workload ID (see -list)")
-	sanName := fs.String("san", "giantsan", "sanitizer: native, giantsan, asan, asan--, lfp, cacheonly, elimonly")
+	sanName := fs.String("san", "giantsan", "sanitizer: native, giantsan, asan, asan--, lfp, cacheonly, elimonly, fullcheck, sampled8")
+	tier := fs.String("tier", "", "run at a sanitization-ladder rung (full, elim, cheap, sampled) instead of -san")
 	scale := fs.Int("scale", 1, "workload scale factor")
 	list := fs.Bool("list", false, "list workload IDs and exit")
 	record := fs.String("record", "", "record the run to a trace file")
 	replay := fs.String("replay", "", "replay a trace file instead of running a workload")
 	serve := fs.String("serve", "", "serve the sanitization service on this address (e.g. :8080)")
+	serveWorkers := fs.Int("serve-workers", 0, "serve mode: concurrent session executors (0 = GOMAXPROCS)")
+	serveQueue := fs.Int("serve-queue", 0, "serve mode: admission queue depth (0 = 64)")
+	maxHeapBytes := fs.Uint64("max-heap-bytes", 0, "serve mode: cap on a session's scaled heap (0 = 4 GiB)")
+	tierBudgetNs := fs.Int64("tier-budget-ns", 0, "serve mode: per-session virtual budget driving tier downgrades (0 = off)")
+	tierWindow := fs.Int("tier-window", 0, "serve mode: rolling window of sessions the budget averages over (0 = 32)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,7 +98,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case *serve != "":
-		return serveHTTP(*serve, stdout, stderr)
+		return serveHTTP(*serve, service.Config{
+			Workers:      *serveWorkers,
+			QueueDepth:   *serveQueue,
+			MaxHeapBytes: *maxHeapBytes,
+			TierBudgetNs: *tierBudgetNs,
+			TierWindow:   *tierWindow,
+		}, stdout, stderr)
 	case *replay != "":
 		return replayTrace(*replay, *sanName, stdout, stderr)
 	case *record != "":
@@ -95,11 +117,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var cfg *bench.SanConfig
-	for _, c := range bench.Configs() {
-		if c.Label == *sanName {
-			c := c
-			cfg = &c
+	if *tier != "" {
+		sanSet := false
+		fs.Visit(func(f *flag.Flag) { sanSet = sanSet || f.Name == "san" })
+		if sanSet {
+			fmt.Fprintln(stderr, "gsan: -tier and -san are mutually exclusive")
+			return 2
 		}
+		tr := bench.TierByName(*tier)
+		if tr == nil {
+			fmt.Fprintf(stderr, "gsan: unknown tier %q (ladder: full, elim, cheap, sampled)\n", *tier)
+			return 2
+		}
+		cfg = &tr.Config
+	} else {
+		cfg = bench.ConfigByLabel(*sanName)
 	}
 	if cfg == nil {
 		fmt.Fprintf(stderr, "gsan: unknown sanitizer %q\n", *sanName)
@@ -136,8 +168,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 // serveHTTP runs the sanitization service until SIGINT/SIGTERM, then
 // drains: stop admitting, finish in-flight sessions, shut the listener
 // down cleanly.
-func serveHTTP(addr string, stdout, stderr io.Writer) int {
-	eng := service.New(service.Config{})
+func serveHTTP(addr string, cfg service.Config, stdout, stderr io.Writer) int {
+	eng := service.New(cfg)
 	srv := &http.Server{Addr: addr, Handler: service.NewServer(eng)}
 
 	sigc := make(chan os.Signal, 1)

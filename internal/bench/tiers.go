@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+
+	"giantsan/internal/instrument"
+	"giantsan/internal/interp"
+	"giantsan/internal/ir"
+	"giantsan/internal/parallel"
+	"giantsan/internal/progen"
+	"giantsan/internal/rt"
+	"giantsan/internal/texttable"
+	"giantsan/internal/workload"
+)
+
+// This file is the cost/coverage story behind the service's adaptive
+// sanitization tiers (PartiSan-style run-time partitioning): a ladder of
+// GiantSan configurations ordered by measured virtual cost, and the
+// -tiers suite that commits the ladder's detection-rate-vs-throughput
+// curve as BENCH_tiers.json.
+//
+// The ladder's ordering is an empirical fact worth stating, because it is
+// the opposite of what "degrade the sanitizer" first suggests: GiantSan's
+// elimination and caching are detection-preserving *optimizations*, so
+// the fully-optimized profile is the CHEAPEST full-coverage
+// configuration, not the most expensive. The costliest rung is therefore
+// unoptimized per-access checking ("full": every access carries its own
+// anchored check at its own site — maximum report fidelity, every error
+// attributed to the exact faulting access), and the ladder descends by
+// enabling progressively more aggressive check-reduction: static
+// elimination (§4.4), then history caching (§4.3), and finally
+// deterministic 1-in-N sampling, the only rung that trades detection
+// itself for cost.
+
+// DefaultSampleRate is the sampled tier's 1-in-N rate.
+const DefaultSampleRate = 8
+
+// Tier is one rung of the service's sanitization ladder.
+type Tier struct {
+	// Name is the service-facing tier label ("full", "elim", ...).
+	Name string
+	// Config is the sanitizer configuration the tier runs as.
+	Config SanConfig
+	// Desc is a one-line account of what the tier trades away.
+	Desc string
+}
+
+// FullCheckConfig is the "full" tier: maximum-fidelity per-access
+// checking on the GiantSan runtime, no elimination, no caching.
+func FullCheckConfig() SanConfig {
+	return SanConfig{Label: "fullcheck", Profile: instrument.FullCheck, Kind: rt.GiantSan}
+}
+
+// SampledConfig is the probabilistic tier: the full GiantSan optimization
+// stack with per-access checks gated to 1-in-n, deterministically by
+// access index.
+func SampledConfig(n int) SanConfig {
+	return SanConfig{Label: fmt.Sprintf("sampled%d", n), Profile: instrument.Sampled(n), Kind: rt.GiantSan}
+}
+
+// Tiers returns the service's tier ladder, costliest first. Index order
+// is downgrade order: under load the admission controller moves sessions
+// toward the tail.
+func Tiers() []Tier {
+	return []Tier{
+		{Name: "full", Config: FullCheckConfig(),
+			Desc: "per-access anchored checks everywhere: exact attribution, highest cost"},
+		{Name: "elim", Config: *mustConfig("elimonly"),
+			Desc: "static elimination only (§4.4): provably-redundant checks merged/hoisted"},
+		{Name: "cheap", Config: *mustConfig("cacheonly"),
+			Desc: "history caching only (§4.3): loop protection through quasi-bounds"},
+		{Name: "sampled", Config: SampledConfig(DefaultSampleRate),
+			Desc: fmt.Sprintf("full optimization stack + deterministic 1-in-%d check sampling", DefaultSampleRate)},
+	}
+}
+
+// TierByName resolves a tier label, or nil.
+func TierByName(name string) *Tier {
+	for _, tr := range Tiers() {
+		if tr.Name == name {
+			tr := tr
+			return &tr
+		}
+	}
+	return nil
+}
+
+// ConfigByLabel resolves a sanitizer label across the Table 2 columns and
+// the tier-only configurations (fullcheck, sampledN), or nil. The service
+// layer uses this as its label registry.
+func ConfigByLabel(label string) *SanConfig {
+	for _, c := range Configs() {
+		if c.Label == label {
+			c := c
+			return &c
+		}
+	}
+	for _, c := range []SanConfig{FullCheckConfig(), SampledConfig(DefaultSampleRate)} {
+		if c.Label == label {
+			c := c
+			return &c
+		}
+	}
+	return nil
+}
+
+func mustConfig(label string) *SanConfig {
+	c := ConfigByLabel(label)
+	if c == nil {
+		panic("bench: missing tier config " + label)
+	}
+	return c
+}
+
+// tierWorkloads is the session mix the throughput side of the suite
+// bills: array-heavy, pointer-chasing, stencil and match-copy kernels,
+// so every protection mode (eliminated, cached, direct, region) carries
+// weight in the per-tier cost.
+func tierWorkloads() []*workload.Workload {
+	out := make([]*workload.Workload, 0, 4)
+	for _, id := range []string{"505.mcf_r", "523.xalancbmk_r", "519.lbm_r", "557.xz_r"} {
+		out = append(out, workload.ByID(id))
+	}
+	return out
+}
+
+// TierRow is one tier's measurement in BENCH_tiers.json.
+type TierRow struct {
+	Tier      string `json:"tier"`
+	Sanitizer string `json:"sanitizer"`
+	Desc      string `json:"desc"`
+	// Sessions and NsPerSession are the throughput side: the mean
+	// virtual-clock bill (bench.VirtualCost, the same deterministic cost
+	// model the service charges deadlines on) of one session over the
+	// workload mix.
+	Sessions     int     `json:"sessions"`
+	NsPerSession float64 `json:"nsPerSession"`
+	// CheckShare is the fraction of the base profile's per-access checks
+	// this tier actually executed (1.0 for unsampled tiers).
+	CheckShare float64 `json:"checkShare"`
+	// CorpusCases/Detected/DetectionRate are the coverage side: planted
+	// out-of-bounds bugs (progen.Buggy) the tier reported.
+	CorpusCases   int     `json:"corpusCases"`
+	Detected      int     `json:"detected"`
+	DetectionRate float64 `json:"detectionRate"`
+}
+
+// TiersReport is the BENCH_tiers.json payload.
+type TiersReport struct {
+	Workloads []string  `json:"workloads"`
+	Seeds     int       `json:"seeds"`
+	Rows      []TierRow `json:"rows"`
+}
+
+// TiersRun measures every tier: virtual ns/session over the workload mix
+// and detection rate over seeds planted-bug programs. All measurement is
+// on the virtual clock and the corpus is seed-determined, so the report
+// is byte-identical across machines and at any opts.Parallel level.
+func TiersRun(seeds int, opts Options) (*TiersReport, error) {
+	if seeds <= 0 {
+		seeds = 60
+	}
+	tiers := Tiers()
+	ws := tierWorkloads()
+
+	// The corpus: every seed whose generator actually planted its bug.
+	// The skip set is seed-determined, hence identical for every tier.
+	var corpus []*ir.Prog
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p, ok := progen.Buggy(seed)
+		if !ok {
+			continue
+		}
+		corpus = append(corpus, p)
+	}
+
+	// Flatten the tier × (session | corpus case) matrix for the pool.
+	type item struct {
+		ti int
+		wi int // workload index, or -1
+		ci int // corpus index, or -1
+	}
+	var items []item
+	for ti := range tiers {
+		for wi := range ws {
+			items = append(items, item{ti: ti, wi: wi, ci: -1})
+		}
+		for ci := range corpus {
+			items = append(items, item{ti: ti, wi: -1, ci: ci})
+		}
+	}
+	type sample struct {
+		virtualNs  int64
+		checked    uint64
+		sampledOut uint64
+		detected   bool
+	}
+	samples, err := parallel.Map(len(items), opts.pool(), func(k int) (sample, error) {
+		it := items[k]
+		cfg := tiers[it.ti].Config
+		if it.wi >= 0 {
+			w := ws[it.wi]
+			env := rt.New(rt.Config{Kind: cfg.Kind, HeapBytes: w.HeapBytes, Reference: cfg.Profile.Reference})
+			ex, err := interp.Prepare(w.Build(1), cfg.Profile, env)
+			if err != nil {
+				return sample{}, err
+			}
+			res := ex.Run()
+			if res.Errors.Total() != 0 {
+				return sample{}, fmt.Errorf("tier %s: clean workload %s reported %d errors",
+					tiers[it.ti].Name, w.ID, res.Errors.Total())
+			}
+			return sample{
+				virtualNs:  int64(VirtualCost(res.Stats.Accesses, &res.San)),
+				checked:    res.Stats.Direct + res.Stats.Cached,
+				sampledOut: res.Stats.SampledOut,
+			}, nil
+		}
+		env := rt.New(rt.Config{Kind: cfg.Kind, HeapBytes: 16 << 20, Reference: cfg.Profile.Reference})
+		ex, err := interp.Prepare(corpus[it.ci], cfg.Profile, env)
+		if err != nil {
+			return sample{}, err
+		}
+		res := ex.Run()
+		return sample{detected: res.Errors.Total() > 0}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &TiersReport{Seeds: seeds}
+	for _, w := range ws {
+		rep.Workloads = append(rep.Workloads, w.ID)
+	}
+	// Merge in matrix order (items ascend through tiers), so the report
+	// is independent of completion order.
+	rows := make([]TierRow, len(tiers))
+	type acc struct {
+		ns, checked, gated uint64
+	}
+	sums := make([]acc, len(tiers))
+	for ti, tr := range tiers {
+		rows[ti] = TierRow{Tier: tr.Name, Sanitizer: tr.Config.Label, Desc: tr.Desc}
+	}
+	for k, s := range samples {
+		it := items[k]
+		row := &rows[it.ti]
+		if it.wi >= 0 {
+			row.Sessions++
+			sums[it.ti].ns += uint64(s.virtualNs)
+			sums[it.ti].checked += s.checked
+			sums[it.ti].gated += s.sampledOut
+		} else {
+			row.CorpusCases++
+			if s.detected {
+				row.Detected++
+			}
+		}
+	}
+	for i := range rows {
+		row, sum := &rows[i], sums[i]
+		if row.Sessions > 0 {
+			row.NsPerSession = float64(sum.ns) / float64(row.Sessions)
+		}
+		row.CheckShare = 1
+		if sum.checked+sum.gated > 0 {
+			row.CheckShare = float64(sum.checked) / float64(sum.checked+sum.gated)
+		}
+		if row.CorpusCases > 0 {
+			row.DetectionRate = float64(row.Detected) / float64(row.CorpusCases)
+		}
+	}
+	rep.Rows = rows
+	return rep, nil
+}
+
+// CheckMonotone asserts the ladder's contract: virtual cost strictly
+// decreases down the ladder (full > elim > cheap > sampled), detection
+// rate never increases, and even the cheapest tier still detects.
+func CheckMonotone(rep *TiersReport) error {
+	if len(rep.Rows) < 3 {
+		return fmt.Errorf("tiers report has %d rows, want >= 3", len(rep.Rows))
+	}
+	for i := 1; i < len(rep.Rows); i++ {
+		hi, lo := rep.Rows[i-1], rep.Rows[i]
+		if !(hi.NsPerSession > lo.NsPerSession) {
+			return fmt.Errorf("tier cost not monotone: %s %.0f ns/session !> %s %.0f ns/session",
+				hi.Tier, hi.NsPerSession, lo.Tier, lo.NsPerSession)
+		}
+		if lo.DetectionRate > hi.DetectionRate {
+			return fmt.Errorf("tier detection inverted: %s %.2f > %s %.2f",
+				lo.Tier, lo.DetectionRate, hi.Tier, hi.DetectionRate)
+		}
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.Detected == 0 {
+		return fmt.Errorf("cheapest tier %s detected nothing on the corpus", last.Tier)
+	}
+	return nil
+}
+
+// RenderTiers renders the report as a table.
+func RenderTiers(rep *TiersReport) string {
+	tb := texttable.New("Tier", "Sanitizer", "ns/session", "CheckShare", "Detection", "Corpus")
+	for _, r := range rep.Rows {
+		tb.Add(r.Tier, r.Sanitizer,
+			fmt.Sprintf("%.0f", r.NsPerSession),
+			fmt.Sprintf("%.2f", r.CheckShare),
+			fmt.Sprintf("%d/%d (%.1f%%)", r.Detected, r.CorpusCases, 100*r.DetectionRate),
+			fmt.Sprintf("%d seeds", rep.Seeds))
+	}
+	return tb.String()
+}

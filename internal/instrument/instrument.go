@@ -14,6 +14,8 @@
 package instrument
 
 import (
+	"fmt"
+
 	"giantsan/internal/analysis"
 	"giantsan/internal/ir"
 )
@@ -37,6 +39,18 @@ type Profile struct {
 	// changes no instrumentation decision — only which observably
 	// identical check body executes.
 	Reference bool
+	// SampleRate, when > 1, turns the profile probabilistic: only dynamic
+	// accesses whose access index i satisfies i ≡ 0 (mod SampleRate)
+	// execute their planned per-access check; the rest run native. The
+	// index is the session-local dynamic memory-operation counter, so the
+	// set of checked accesses is a pure function of the program — the
+	// same accesses are checked on every run, at any parallelism, on any
+	// machine (deterministic sampling, not rand()). Loop-level region
+	// checks (preheader promotions) are not gated: they are per-loop, not
+	// per-access, and cost nothing compared to what they cover. 0 and 1
+	// both mean "check every access"; a rate-1 sampled profile is
+	// plan- and verdict-identical to its base.
+	SampleRate int
 }
 
 // Predefined profiles, one per Table 2 configuration.
@@ -57,7 +71,28 @@ var (
 	CacheOnly = Profile{Name: "giantsan-cacheonly", Check: true, Cache: true, Anchor: true}
 	// ElimOnly is the Table 2 ablation with check elimination only.
 	ElimOnly = Profile{Name: "giantsan-elimonly", Check: true, Eliminate: true, Anchor: true}
+	// FullCheck is maximum-fidelity per-access checking on the GiantSan
+	// runtime: no elimination, no caching — every access carries its own
+	// anchored check at its own site, so every report is attributed to
+	// the exact faulting instruction rather than riding on a merged or
+	// hoisted region check. It is the costliest (and most diagnosable)
+	// rung of the service's tier ladder.
+	FullCheck = Profile{Name: "giantsan-fullcheck", Check: true, Anchor: true}
 )
+
+// Sampled derives the probabilistic tier profile: the full GiantSan
+// optimization stack with per-access checks gated to 1-in-n dynamic
+// accesses, deterministically by access index (see Profile.SampleRate).
+// n <= 1 returns a profile equivalent to GiantSanProfile.
+func Sampled(n int) Profile {
+	if n < 1 {
+		n = 1
+	}
+	p := GiantSanProfile
+	p.Name = fmt.Sprintf("giantsan-sampled%d", n)
+	p.SampleRate = n
+	return p
+}
 
 // Mode says how one access is protected at run time.
 type Mode int

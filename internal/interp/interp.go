@@ -44,6 +44,10 @@ type ExecStats struct {
 	FullCheck uint64
 	// PreChecks counts hoisted (preheader) and group region checks.
 	PreChecks uint64
+	// SampledOut counts accesses whose planned check was skipped by the
+	// profile's deterministic 1-in-N sampling gate (the memory operation
+	// itself still executed, natively).
+	SampledOut uint64
 	// Skipped counts memory operations suppressed after a failed check.
 	Skipped uint64
 }

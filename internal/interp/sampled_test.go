@@ -1,0 +1,134 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"giantsan/internal/analysis"
+	"giantsan/internal/instrument"
+	"giantsan/internal/progen"
+	"giantsan/internal/rt"
+	"giantsan/internal/workload"
+)
+
+// TestSampledRateOneIsIdentity: a sampled profile with rate 1 must be
+// plan- and verdict-identical to its base profile — the sampling gate is
+// a pure runtime refinement, and at rate 1 it must not exist at all.
+func TestSampledRateOneIsIdentity(t *testing.T) {
+	base := instrument.GiantSanProfile
+	s1 := instrument.Sampled(1)
+	if s1.SampleRate > 1 {
+		t.Fatalf("Sampled(1).SampleRate = %d, want <= 1", s1.SampleRate)
+	}
+	progs := []struct {
+		name string
+		p    func() (prog *workload.Workload, scale int)
+	}{
+		{"505.mcf_r", func() (*workload.Workload, int) { return workload.ByID("505.mcf_r"), 1 }},
+		{"523.xalancbmk_r", func() (*workload.Workload, int) { return workload.ByID("523.xalancbmk_r"), 1 }},
+	}
+	for _, tc := range progs {
+		w, scale := tc.p()
+		prog := w.Build(scale)
+		facts := analysis.Analyze(prog)
+		planBase := instrument.Build(prog, base, facts)
+		planS1 := instrument.Build(prog, s1, facts)
+		if !reflect.DeepEqual(planBase.Mode, planS1.Mode) {
+			t.Fatalf("%s: rate-1 sampled plan modes differ from base", tc.name)
+		}
+		if !reflect.DeepEqual(planBase.StaticCounts(), planS1.StaticCounts()) {
+			t.Fatalf("%s: rate-1 sampled static counts differ from base", tc.name)
+		}
+
+		run := func(prof instrument.Profile) *Result {
+			env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: w.HeapBytes})
+			ex, err := Prepare(w.Build(scale), prof, env)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", tc.name, prof.Name, err)
+			}
+			return ex.Run()
+		}
+		rb, rs := run(base), run(s1)
+		if rb.Checksum != rs.Checksum || rb.Stats != rs.Stats || rb.San != rs.San ||
+			rb.Errors.Total() != rs.Errors.Total() {
+			t.Fatalf("%s: rate-1 sampled run diverged from base:\nbase    %+v\nsampled %+v",
+				tc.name, rb.Stats, rs.Stats)
+		}
+		if rs.Stats.SampledOut != 0 {
+			t.Fatalf("%s: rate-1 sampled run gated %d accesses", tc.name, rs.Stats.SampledOut)
+		}
+	}
+
+	// The same identity on buggy fuzz programs: the rate-1 verdict must
+	// match the base verdict exactly, error for error.
+	for seed := int64(0); seed < 20; seed++ {
+		p, ok := progen.Buggy(seed)
+		if !ok {
+			continue
+		}
+		run := func(prof instrument.Profile) *Result {
+			env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: 16 << 20})
+			ex, err := Prepare(p, prof, env)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return ex.Run()
+		}
+		rb, rs := run(base), run(s1)
+		if rb.Errors.Total() != rs.Errors.Total() || rb.Checksum != rs.Checksum || rb.Stats != rs.Stats {
+			t.Fatalf("seed %d: rate-1 verdict diverged (base %d errors, sampled %d)",
+				seed, rb.Errors.Total(), rs.Errors.Total())
+		}
+	}
+}
+
+// TestSampledDeterministicAccessIndices: the 1-in-N gate keys on the
+// session-local access index, so two runs of the same program check
+// exactly the same accesses — same SampledOut count, same check
+// counters, same verdict — and the gated work really is ~ (N-1)/N of the
+// per-access checks.
+func TestSampledDeterministicAccessIndices(t *testing.T) {
+	prof := instrument.Sampled(4)
+	w := workload.ByID("523.xalancbmk_r")
+	run := func() *Result {
+		env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: w.HeapBytes})
+		ex, err := Prepare(w.Build(1), prof, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Run()
+	}
+	r1, r2 := run(), run()
+	if r1.Stats != r2.Stats || r1.San != r2.San || r1.Checksum != r2.Checksum {
+		t.Fatalf("sampled run not deterministic:\nrun1 %+v\nrun2 %+v", r1.Stats, r2.Stats)
+	}
+	if r1.Stats.SampledOut == 0 {
+		t.Fatal("sampled run gated nothing; gate not wired")
+	}
+
+	// Against the unsampled base, the per-access check population must be
+	// conserved: every access the base checked (or cached) is either
+	// still checked or counted SampledOut; eliminated accesses are
+	// untouched by the gate.
+	env := rt.New(rt.Config{Kind: rt.GiantSan, HeapBytes: w.HeapBytes})
+	ex, err := Prepare(w.Build(1), instrument.GiantSanProfile, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := ex.Run()
+	if r1.Stats.Accesses != rb.Stats.Accesses || r1.Stats.Eliminated != rb.Stats.Eliminated {
+		t.Fatalf("sampling changed the access stream: sampled %+v vs base %+v", r1.Stats, rb.Stats)
+	}
+	checkedBase := rb.Stats.Direct + rb.Stats.Cached
+	checkedSampled := r1.Stats.Direct + r1.Stats.Cached
+	if checkedSampled+r1.Stats.SampledOut < checkedBase {
+		t.Fatalf("check population not conserved: base checked %d, sampled checked %d + gated %d",
+			checkedBase, checkedSampled, r1.Stats.SampledOut)
+	}
+	if checkedSampled*2 >= checkedBase {
+		t.Fatalf("rate-4 sampling checked %d of %d accesses; gate ineffective", checkedSampled, checkedBase)
+	}
+	if r1.San.Checks >= rb.San.Checks {
+		t.Fatalf("rate-4 sampling did not reduce sanitizer checks: %d vs base %d", r1.San.Checks, rb.San.Checks)
+	}
+}

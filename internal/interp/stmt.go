@@ -142,6 +142,7 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 		}
 		mode := c.plan.Mode[s]
 		checker := c.run.San()
+		rate := uint64(c.plan.Profile.SampleRate)
 		return func(s *state) {
 			s.stats.Accesses++
 			l := vmem.Addr(s.vars[base] + off(s))
@@ -151,11 +152,15 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 			}
 			r := l + vmem.Addr(ln)
 			if mode == instrument.ModeRegion {
-				s.stats.PreChecks++
-				if err := checker.CheckRange(l, r, report.Write); err != nil {
-					s.errs.Record(err)
-					s.stats.Skipped++
-					return
+				if rate > 1 && (s.stats.Accesses-1)%rate != 0 {
+					s.stats.SampledOut++
+				} else {
+					s.stats.PreChecks++
+					if err := checker.CheckRange(l, r, report.Write); err != nil {
+						s.errs.Record(err)
+						s.stats.Skipped++
+						return
+					}
 				}
 			}
 			if !s.space.Contains(l, uint64(ln)) {
@@ -182,6 +187,7 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 		}
 		mode := c.plan.Mode[s]
 		checker := c.run.San()
+		rate := uint64(c.plan.Profile.SampleRate)
 		return func(s *state) {
 			s.stats.Accesses++
 			d := vmem.Addr(s.vars[dst] + dOff(s))
@@ -191,16 +197,20 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 				return
 			}
 			if mode == instrument.ModeRegion {
-				s.stats.PreChecks += 2
-				if err := checker.CheckRange(x, x+vmem.Addr(ln), report.Read); err != nil {
-					s.errs.Record(err)
-					s.stats.Skipped++
-					return
-				}
-				if err := checker.CheckRange(d, d+vmem.Addr(ln), report.Write); err != nil {
-					s.errs.Record(err)
-					s.stats.Skipped++
-					return
+				if rate > 1 && (s.stats.Accesses-1)%rate != 0 {
+					s.stats.SampledOut++
+				} else {
+					s.stats.PreChecks += 2
+					if err := checker.CheckRange(x, x+vmem.Addr(ln), report.Read); err != nil {
+						s.errs.Record(err)
+						s.stats.Skipped++
+						return
+					}
+					if err := checker.CheckRange(d, d+vmem.Addr(ln), report.Write); err != nil {
+						s.errs.Record(err)
+						s.stats.Skipped++
+						return
+					}
 				}
 			}
 			if !s.space.Contains(d, uint64(ln)) || !s.space.Contains(x, uint64(ln)) {
@@ -275,8 +285,38 @@ func (c *compiler) addr(base string, idx ir.Expr, scale, off int64) (func(*state
 // when the memory operation must be suppressed.
 type checkFn func(s *state, a vmem.Addr, t report.AccessType) bool
 
-// accessCheck builds the per-access protection closure from the plan.
+// accessCheck builds the per-access protection closure from the plan,
+// applying the profile's sampling gate around modes that perform a check.
 func (c *compiler) accessCheck(st ir.Stmt, baseVar string, size int) (checkFn, error) {
+	fn, err := c.plannedCheck(st, baseVar, size)
+	if err != nil {
+		return nil, err
+	}
+	if rate := c.plan.Profile.SampleRate; rate > 1 {
+		switch c.plan.Mode[st] {
+		case instrument.ModeGroup, instrument.ModeCached, instrument.ModeDirect:
+			fn = sampledGate(fn, uint64(rate))
+		}
+	}
+	return fn, nil
+}
+
+// sampledGate wraps a planned check in the deterministic 1-in-rate gate:
+// the current access's index is s.stats.Accesses-1 (the executing
+// statement already counted itself), so which accesses are checked is a
+// pure function of the program, identical across runs and machines.
+func sampledGate(inner checkFn, rate uint64) checkFn {
+	return func(s *state, a vmem.Addr, t report.AccessType) bool {
+		if (s.stats.Accesses-1)%rate != 0 {
+			s.stats.SampledOut++
+			return true
+		}
+		return inner(s, a, t)
+	}
+}
+
+// plannedCheck builds the unsampled protection closure for one access.
+func (c *compiler) plannedCheck(st ir.Stmt, baseVar string, size int) (checkFn, error) {
 	mode := c.plan.Mode[st]
 	w := uint64(size)
 	checker := c.run.San()

@@ -32,8 +32,9 @@ type ArenaPool struct {
 	perKey int
 	free   map[rt.Config][]*rt.Env
 
-	hits   uint64
-	misses uint64
+	hits    uint64
+	misses  uint64
+	dropped uint64
 }
 
 // ArenaStats is a snapshot of the pool counters.
@@ -41,6 +42,11 @@ type ArenaStats struct {
 	// Hits counts sessions served by a recycled (warm) arena; Misses
 	// counts sessions that had to build a fresh one.
 	Hits, Misses uint64
+	// Dropped counts arenas discarded instead of shelved: suspect state
+	// (panicked or error-path sessions) and over-capacity Puts. Every
+	// arena the pool hands out is eventually either shelved or counted
+	// here — a growing gap would be a leak.
+	Dropped uint64
 	// Size is the number of arenas currently shelved, across all keys.
 	Size int
 }
@@ -74,9 +80,10 @@ func (p *ArenaPool) Get(cfg rt.Config) (env *rt.Env, warm bool) {
 }
 
 // Put resets env and shelves it for reuse. Arenas beyond the per-key
-// bound are dropped on the floor for the GC; a session that panicked must
-// NOT Put its arena back (its state is suspect), which the engine
-// enforces by only reaching Put on the success path.
+// bound are dropped on the floor for the GC (and counted); a session that
+// panicked must NOT Put its arena back (its state is suspect) — it Drops
+// it instead, which the engine enforces with a deferred return-or-drop on
+// every session path.
 func (p *ArenaPool) Put(env *rt.Env) {
 	env.Reset()
 	cfg := env.Config()
@@ -84,7 +91,22 @@ func (p *ArenaPool) Put(env *rt.Env) {
 	defer p.mu.Unlock()
 	if len(p.free[cfg]) < p.perKey {
 		p.free[cfg] = append(p.free[cfg], env)
+		return
 	}
+	p.dropped++
+}
+
+// Drop discards env without shelving it — the exit for arenas whose
+// state is suspect (panicked sessions, failed replays). Counting the
+// discard keeps the pool's books closed: handed-out arenas are always
+// either shelved or visibly dropped, never silently abandoned.
+func (p *ArenaPool) Drop(env *rt.Env) {
+	if env == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropped++
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -95,5 +117,5 @@ func (p *ArenaPool) Stats() ArenaStats {
 	for _, list := range p.free {
 		size += len(list)
 	}
-	return ArenaStats{Hits: p.hits, Misses: p.misses, Size: size}
+	return ArenaStats{Hits: p.hits, Misses: p.misses, Dropped: p.dropped, Size: size}
 }

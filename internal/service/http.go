@@ -17,7 +17,11 @@ import (
 //	GET  /healthz   — liveness probe
 //
 // Admission control maps onto status codes: 429 (queue full, with
-// Retry-After), 503 (draining), 400 (malformed request). A session that
+// Retry-After), 503 (draining), 400 (malformed request). A tiered
+// request (tier: full|elim|cheap|sampled) sees 429 only as a last
+// resort: under load the engine degrades it to a cheaper rung first, and
+// the reply's tier/requested_tier/downgraded fields say what actually
+// ran. A session that
 // runs always answers 200, whatever it detected: memory-error reports are
 // the service's product, and even a panicked-and-isolated session reports
 // its own failure in-band as status "error".

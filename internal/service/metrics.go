@@ -27,11 +27,17 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 	counter("gsan_sessions_rejected_total", "Sessions refused by admission control.", e.m.rejected.Load())
 	counter("gsan_sessions_timedout_total", "Sessions whose virtual-clock bill exceeded their deadline.", e.m.timedout.Load())
 	counter("gsan_sessions_panicked_total", "Sessions that panicked and were isolated.", e.m.panicked.Load())
+	counter("gsan_sessions_downgraded_total", "Tiered sessions admission control moved to a cheaper rung.", e.m.downgraded.Load())
+	// Read completed before started: completed only grows, so this order
+	// can never produce a negative in-flight count.
+	completed := e.m.completed.Load()
+	gauge("gsan_sessions_inflight", "Sessions started but not yet finished.", int(e.m.started.Load()-completed))
 	gauge("gsan_queue_depth", "Admitted sessions waiting for a worker.", e.QueueDepth())
 
 	as := e.arenas.Stats()
 	counter("gsan_arena_pool_hits_total", "Sessions served by a recycled arena.", as.Hits)
 	counter("gsan_arena_pool_misses_total", "Sessions that built a fresh arena.", as.Misses)
+	counter("gsan_arena_pool_dropped_total", "Arenas discarded instead of shelved (suspect state or over-capacity).", as.Dropped)
 	gauge("gsan_arena_pool_size", "Idle arenas currently shelved.", as.Size)
 
 	e.mu.Lock()
@@ -44,6 +50,15 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 	for _, l := range labels {
 		stats[l] = *e.perSan[l]
 	}
+	tierNames := make([]string, 0, len(e.perTier))
+	for n := range e.perTier {
+		tierNames = append(tierNames, n)
+	}
+	sort.Strings(tierNames)
+	tierCounts := make(map[string]uint64, len(tierNames))
+	for _, n := range tierNames {
+		tierCounts[n] = e.perTier[n]
+	}
 	kinds := make([]string, 0, len(e.errKinds))
 	for k := range e.errKinds {
 		kinds = append(kinds, k)
@@ -54,6 +69,11 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 		kindTotals[k] = e.errKinds[k]
 	}
 	e.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP gsan_sessions_tier_total Completed sessions per resolved sanitization tier.\n# TYPE gsan_sessions_tier_total counter\n")
+	for _, n := range tierNames {
+		fmt.Fprintf(w, "gsan_sessions_tier_total{tier=%q} %d\n", n, tierCounts[n])
+	}
 
 	// One metric family per san.Stats counter, named after its frozen
 	// JSON tag (the same wire schema the session responses use), with one

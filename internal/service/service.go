@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
+	"giantsan/internal/ir"
 	"giantsan/internal/lfp"
 	"giantsan/internal/parallel"
 	"giantsan/internal/report"
@@ -56,8 +58,17 @@ type Request struct {
 	// gsan -record format) to replay instead of running a workload.
 	TraceB64 string `json:"trace_b64,omitempty"`
 	// Sanitizer selects the configuration by label: native, giantsan,
-	// asan, asan--, lfp, cacheonly, elimonly. Empty means giantsan.
+	// asan, asan--, lfp, cacheonly, elimonly, plus the tier-only
+	// configurations fullcheck and sampled8. Empty means giantsan (unless
+	// Tier is set). Mutually exclusive with Tier.
 	Sanitizer string `json:"sanitizer,omitempty"`
+	// Tier requests a rung of the adaptive sanitization ladder (full,
+	// elim, cheap, sampled — see bench.Tiers) instead of pinning an exact
+	// sanitizer. A tiered session consents to degradation: under load the
+	// admission controller may resolve it to a cheaper rung rather than
+	// reject it, and only rejects (429) when even the cheapest rung has no
+	// queue capacity. Mutually exclusive with Sanitizer.
+	Tier string `json:"tier,omitempty"`
 	// Scale is the workload scale factor (>= 1; 0 means 1).
 	Scale int `json:"scale,omitempty"`
 	// DeadlineNs is the session's virtual-clock budget in nanoseconds.
@@ -66,6 +77,13 @@ type Request struct {
 	// reproducible across machines and interleavings. 0 means the
 	// engine's default; < 0 is rejected.
 	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+
+	// Resolved request state, filled by validate and resolveTier; never on
+	// the wire.
+	requestedTier string
+	resolvedTier  string
+	downgraded    bool
+	heapBytes     uint64
 }
 
 // Response is one session's outcome (the POST /sessions reply).
@@ -73,7 +91,13 @@ type Response struct {
 	Session   uint64 `json:"session"`
 	Status    string `json:"status"`
 	Sanitizer string `json:"sanitizer"`
-	Workload  string `json:"workload,omitempty"`
+	// Tier is the rung the session actually ran at; RequestedTier what the
+	// client asked for; Downgraded whether admission control moved the
+	// session down the ladder. All empty/false for non-tiered requests.
+	Tier          string `json:"tier,omitempty"`
+	RequestedTier string `json:"requested_tier,omitempty"`
+	Downgraded    bool   `json:"downgraded,omitempty"`
+	Workload      string `json:"workload,omitempty"`
 	// Arena says how the execution environment was obtained: "warm" (from
 	// the pool), "cold" (freshly built), or "unpooled" (LFP, whose
 	// allocator-is-the-metadata runtime is not recyclable).
@@ -114,6 +138,18 @@ type Config struct {
 	// ReplayHeapBytes sizes the heap for trace-replay sessions; 0 means
 	// 64 MiB (the gsan -replay default).
 	ReplayHeapBytes uint64
+	// MaxHeapBytes caps a workload session's scaled heap (HeapBytes ×
+	// Scale); requests above it are rejected as malformed. 0 means 4 GiB.
+	MaxHeapBytes uint64
+	// TierBudgetNs is the per-session virtual-clock budget the tier
+	// controller steers toward: when the rolling mean bill of the last
+	// TierWindow sessions exceeds it, tiered sessions are downgraded one
+	// extra rung per multiple of the budget. 0 disables budget-driven
+	// downgrades (queue-driven ones still apply).
+	TierBudgetNs int64
+	// TierWindow is the rolling-window length (completed sessions) the
+	// budget controller averages over; <= 0 means 32.
+	TierWindow int
 	// DefaultDeadlineNs applies to requests that do not set a deadline;
 	// 0 means no deadline.
 	DefaultDeadlineNs int64
@@ -136,17 +172,24 @@ func (c Config) withDefaults() Config {
 	if c.ReplayHeapBytes == 0 {
 		c.ReplayHeapBytes = 64 << 20
 	}
+	if c.MaxHeapBytes == 0 {
+		c.MaxHeapBytes = 4 << 30
+	}
+	if c.TierWindow <= 0 {
+		c.TierWindow = 32
+	}
 	return c
 }
 
 // counters is the service-level metric set, updated atomically from
 // worker goroutines and read by /metrics.
 type counters struct {
-	started   atomic.Uint64
-	completed atomic.Uint64
-	rejected  atomic.Uint64
-	timedout  atomic.Uint64
-	panicked  atomic.Uint64
+	started    atomic.Uint64
+	completed  atomic.Uint64
+	rejected   atomic.Uint64
+	timedout   atomic.Uint64
+	panicked   atomic.Uint64
+	downgraded atomic.Uint64
 }
 
 // Engine is the multi-tenant session engine: a bounded admission queue in
@@ -159,12 +202,27 @@ type Engine struct {
 	m      counters
 	nextID atomic.Uint64
 
-	// mu guards the aggregated per-sanitizer stats, the per-kind error
-	// report totals, and the draining flag.
+	// prepare is the session compiler, interp.Prepare in production. It is
+	// a field so tests can inject compilation failures and panics at the
+	// exact point where a pooled arena is already held.
+	prepare func(*ir.Prog, instrument.Profile, rt.Runtime) (*interp.Exec, error)
+
+	// mu guards the aggregated per-sanitizer stats, the per-tier session
+	// counts, the per-kind error report totals, the budget controller's
+	// rolling window, and the draining flag.
 	mu       sync.Mutex
 	perSan   map[string]*san.Stats
+	perTier  map[string]uint64
 	errKinds map[string]uint64
 	draining bool
+
+	// Rolling window of the last TierWindow completed sessions' virtual
+	// bills, a ring buffer: the budget controller downgrades against its
+	// mean.
+	window    []int64
+	windowSum int64
+	windowPos int
+	windowN   int
 }
 
 // New starts an engine per cfg. Callers must Close it to drain.
@@ -174,7 +232,9 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		pool:     parallel.NewPool(cfg.Workers, cfg.QueueDepth),
 		arenas:   NewArenaPool(cfg.ArenasPerKey),
+		prepare:  interp.Prepare,
 		perSan:   make(map[string]*san.Stats),
+		perTier:  make(map[string]uint64),
 		errKinds: make(map[string]uint64),
 	}
 	return e
@@ -189,38 +249,117 @@ func (e *Engine) Close() {
 	e.pool.Close()
 }
 
-// sanConfigByLabel resolves a sanitizer label to its Table 2 column.
+// sanConfigByLabel resolves a sanitizer label: every Table 2 column plus
+// the tier-only configurations (fullcheck, sampled8).
 func sanConfigByLabel(label string) *bench.SanConfig {
-	for _, c := range bench.Configs() {
-		if c.Label == label {
-			c := c
-			return &c
+	return bench.ConfigByLabel(label)
+}
+
+// tierIndex resolves a tier name to its ladder index, or -1.
+func tierIndex(name string) int {
+	for i, tr := range bench.Tiers() {
+		if tr.Name == name {
+			return i
 		}
 	}
-	return nil
+	return -1
+}
+
+// tierFloor is the admission controller's load signal: the cheapest
+// ladder index a tiered session may currently run above. Queue pressure
+// contributes stepwise (a quarter-full queue costs one rung, half-full
+// two, three-quarters three); the virtual-clock budget contributes one
+// rung per multiple of TierBudgetNs the rolling mean session bill sits
+// at. The floor saturates at the cheapest rung — a session is never
+// rejected while the queue can still hold it.
+func (e *Engine) tierFloor() int {
+	steps := 0
+	d, c := e.pool.QueueDepth(), e.cfg.QueueDepth
+	switch {
+	case 4*d >= 3*c:
+		steps = 3
+	case 2*d >= c:
+		steps = 2
+	case 4*d >= c:
+		steps = 1
+	}
+	if b := e.cfg.TierBudgetNs; b > 0 {
+		e.mu.Lock()
+		if e.windowN > 0 {
+			steps += int(e.windowSum / int64(e.windowN) / b)
+		}
+		e.mu.Unlock()
+	}
+	if max := len(bench.Tiers()) - 1; steps > max {
+		steps = max
+	}
+	return steps
+}
+
+// resolveTier maps a tiered request onto a concrete sanitizer at
+// admission time: the requested rung, or the load floor if that is
+// cheaper. Pinned-sanitizer requests pass through untouched.
+func (e *Engine) resolveTier(req *Request) {
+	if req.requestedTier == "" {
+		return
+	}
+	idx := tierIndex(req.requestedTier)
+	if floor := e.tierFloor(); floor > idx {
+		idx = floor
+	}
+	tr := bench.Tiers()[idx]
+	req.resolvedTier = tr.Name
+	req.downgraded = tr.Name != req.requestedTier
+	req.Sanitizer = tr.Config.Label
 }
 
 // validate normalizes req in place and rejects malformed requests. It is
 // called on the submitter's goroutine so schema errors never consume a
 // queue slot.
 func (e *Engine) validate(req *Request) error {
-	if req.Sanitizer == "" {
+	switch {
+	case req.Tier != "":
+		if req.Sanitizer != "" {
+			return errors.New("tier and sanitizer are mutually exclusive")
+		}
+		if tierIndex(req.Tier) < 0 {
+			return fmt.Errorf("unknown tier %q (ladder: full, elim, cheap, sampled)", req.Tier)
+		}
+		// The concrete sanitizer is chosen at admission time by
+		// resolveTier, against the load at that instant.
+		req.requestedTier = req.Tier
+	case req.Sanitizer == "":
 		req.Sanitizer = "giantsan"
 	}
-	if sanConfigByLabel(req.Sanitizer) == nil {
+	if req.Tier == "" && sanConfigByLabel(req.Sanitizer) == nil {
 		return fmt.Errorf("unknown sanitizer %q", req.Sanitizer)
 	}
 	if (req.Workload == "") == (req.TraceB64 == "") {
 		return errors.New("exactly one of workload and trace_b64 must be set")
-	}
-	if req.Workload != "" && workload.ByID(req.Workload) == nil {
-		return fmt.Errorf("unknown workload %q (see GET /workloads)", req.Workload)
 	}
 	if req.Scale < 0 {
 		return fmt.Errorf("scale %d must be >= 1", req.Scale)
 	}
 	if req.Scale == 0 {
 		req.Scale = 1
+	}
+	if req.Workload != "" {
+		w := workload.ByID(req.Workload)
+		if w == nil {
+			return fmt.Errorf("unknown workload %q (see GET /workloads)", req.Workload)
+		}
+		// Scale multiplies the heap. Check the multiply itself — a wrapped
+		// product can otherwise masquerade as a tiny (even zero-byte)
+		// arena — then the configured cap.
+		heap := w.HeapBytes * uint64(req.Scale)
+		if heap/uint64(req.Scale) != w.HeapBytes {
+			return fmt.Errorf("workload %q at scale %d: heap size overflows", req.Workload, req.Scale)
+		}
+		if heap > e.cfg.MaxHeapBytes {
+			return fmt.Errorf("workload %q at scale %d needs %d heap bytes, above the %d-byte cap",
+				req.Workload, req.Scale, heap, e.cfg.MaxHeapBytes)
+		}
+		req.heapBytes = heap
 	}
 	if req.DeadlineNs < 0 {
 		return fmt.Errorf("deadline_ns %d must be >= 0", req.DeadlineNs)
@@ -244,6 +383,11 @@ func (e *Engine) Submit(req Request) (*Response, error) {
 		return nil, ErrDraining
 	}
 	e.mu.Unlock()
+	// Tier resolution happens here, against the queue the session is about
+	// to join: under load a tiered session is degraded to a cheaper rung
+	// instead of rejected. Only when even the cheapest rung has no queue
+	// slot does admission fall back to ErrQueueFull.
+	e.resolveTier(&req)
 	done := make(chan *Response, 1)
 	ok := e.pool.TrySubmit(func() { done <- e.runSession(&req) })
 	if !ok {
@@ -261,37 +405,51 @@ func (e *Engine) ArenaStats() ArenaStats { return e.arenas.Stats() }
 
 // runSession executes one session on a worker goroutine. Panic isolation
 // lives here: whatever a poisoned session does, the worker survives, the
-// panicking session's arena is abandoned (never returned to the pool),
-// and the tenant gets a StatusError response instead of taking the server
-// down with it.
+// panicking session's arena is dropped (never returned to the pool, but
+// counted — see ArenaPool.Drop), and the tenant gets a StatusError
+// response instead of taking the server down with it. A panicked session
+// still completes: it passes through finish like any other, so the
+// started == completed + in-flight invariant holds whatever tenants do.
 func (e *Engine) runSession(req *Request) (resp *Response) {
 	id := e.nextID.Add(1)
 	e.m.started.Add(1)
+	// arena tracks how far the session got: "none" until an execution
+	// environment exists, then the real pool outcome. The recovery path
+	// reports it instead of guessing.
+	arena := "none"
 	defer func() {
 		if v := recover(); v != nil {
 			e.m.panicked.Add(1)
-			resp = &Response{
-				Session: id, Status: StatusError, Sanitizer: req.Sanitizer,
-				Workload: req.Workload, Arena: "cold",
-				Message: fmt.Sprintf("session panic (isolated): %v", v),
-			}
+			resp = errorResponse(id, req, arena,
+				fmt.Sprintf("session panic (isolated): %v", v))
+			e.finish(req, resp)
 		}
 	}()
 	if hook := e.cfg.OnSessionStart; hook != nil {
 		hook(req)
 	}
 	if req.TraceB64 != "" {
-		resp = e.runReplay(id, req)
+		resp = e.runReplay(id, req, &arena)
 	} else {
-		resp = e.runWorkload(id, req)
+		resp = e.runWorkload(id, req, &arena)
 	}
-	e.finish(req.Sanitizer, resp)
+	e.finish(req, resp)
 	return resp
 }
 
-// finish applies deadline classification and folds the session's work
-// into the service-wide aggregates.
-func (e *Engine) finish(label string, resp *Response) {
+// finish stamps tier resolution onto the response, applies deadline
+// classification, and folds the session's work into the service-wide
+// aggregates (per-sanitizer stats, per-tier counts, the budget
+// controller's rolling window).
+func (e *Engine) finish(req *Request, resp *Response) {
+	resp.Tier = req.resolvedTier
+	resp.RequestedTier = req.requestedTier
+	resp.Downgraded = req.downgraded
+	if req.downgraded {
+		// Counted here, not at resolution: a session the queue then
+		// rejects anyway shows up as rejected, not downgraded.
+		e.m.downgraded.Add(1)
+	}
 	if resp.Status == StatusOK && resp.DeadlineNs > 0 && resp.VirtualNs > resp.DeadlineNs {
 		resp.Status = StatusTimeout
 		e.m.timedout.Add(1)
@@ -299,12 +457,26 @@ func (e *Engine) finish(label string, resp *Response) {
 	e.m.completed.Add(1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	agg := e.perSan[label]
+	agg := e.perSan[resp.Sanitizer]
 	if agg == nil {
 		agg = &san.Stats{}
-		e.perSan[label] = agg
+		e.perSan[resp.Sanitizer] = agg
 	}
 	agg.Add(&resp.Stats)
+	if req.resolvedTier != "" {
+		e.perTier[req.resolvedTier]++
+	}
+	if e.window == nil {
+		e.window = make([]int64, e.cfg.TierWindow)
+	}
+	if e.windowN == len(e.window) {
+		e.windowSum -= e.window[e.windowPos]
+	} else {
+		e.windowN++
+	}
+	e.window[e.windowPos] = resp.VirtualNs
+	e.windowSum += resp.VirtualNs
+	e.windowPos = (e.windowPos + 1) % len(e.window)
 }
 
 // recordErrors renders the session's error reports into resp and feeds
@@ -332,36 +504,54 @@ func errorResponse(id uint64, req *Request, arena, msg string) *Response {
 	}
 }
 
-// runWorkload executes a workload session.
-func (e *Engine) runWorkload(id uint64, req *Request) *Response {
+// runWorkload executes a workload session. Every exit path accounts for
+// the pooled arena explicitly: it is either Put back on the shelf or
+// Dropped (counted) — the deferred drop covers error returns and panics
+// alike, so no path can silently leak an arena out of the pool's books.
+func (e *Engine) runWorkload(id uint64, req *Request, arena *string) *Response {
 	cfg := sanConfigByLabel(req.Sanitizer)
 	w := workload.ByID(req.Workload)
-	heapBytes := w.HeapBytes * uint64(req.Scale)
+	heapBytes := req.heapBytes
 
 	var (
-		env   rt.Runtime
-		arena = "unpooled"
+		env      rt.Runtime
+		pooled   *rt.Env
+		returned bool
 	)
+	*arena = "unpooled"
 	if cfg.IsLFP {
 		if fail := bench.LFPFailure(w.ID); fail != "" {
-			return errorResponse(id, req, arena,
+			return errorResponse(id, req, *arena,
 				fmt.Sprintf("lfp cannot run %s (%s, Table 2)", w.ID, fail))
 		}
 		env = lfp.New(lfp.Config{HeapBytes: heapBytes * 2, MaxClass: 1 << 20})
 	} else {
-		pooled, warm := e.arenas.Get(rt.Config{
+		var warm bool
+		pooled, warm = e.arenas.Get(rt.Config{
 			Kind: cfg.Kind, HeapBytes: heapBytes, Reference: cfg.Profile.Reference,
 		})
 		env = pooled
-		arena = "cold"
+		*arena = "cold"
 		if warm {
-			arena = "warm"
+			*arena = "warm"
 		}
+		defer func() {
+			if !returned {
+				e.arenas.Drop(pooled)
+			}
+		}()
 	}
 
-	ex, err := interp.Prepare(w.Build(req.Scale), cfg.Profile, env)
+	ex, err := e.prepare(w.Build(req.Scale), cfg.Profile, env)
 	if err != nil {
-		return errorResponse(id, req, arena, fmt.Sprintf("prepare: %v", err))
+		// Prepare failed before the program touched the arena; Put resets
+		// it regardless, so shelve it for the next tenant instead of
+		// paying a rebuild.
+		if pooled != nil {
+			returned = true
+			e.arenas.Put(pooled)
+		}
+		return errorResponse(id, req, *arena, fmt.Sprintf("prepare: %v", err))
 	}
 	start := time.Now()
 	res := ex.Run()
@@ -369,7 +559,7 @@ func (e *Engine) runWorkload(id uint64, req *Request) *Response {
 
 	resp := &Response{
 		Session: id, Status: StatusOK, Sanitizer: req.Sanitizer,
-		Workload: w.ID, Arena: arena,
+		Workload: w.ID, Arena: *arena,
 		VirtualNs:  int64(bench.VirtualCost(res.Stats.Accesses, &res.San)),
 		WallNs:     wall.Nanoseconds(),
 		DeadlineNs: req.DeadlineNs,
@@ -377,35 +567,45 @@ func (e *Engine) runWorkload(id uint64, req *Request) *Response {
 		Stats:      res.San,
 	}
 	e.recordErrors(resp, &res.Errors)
-	if pooled, ok := env.(*rt.Env); ok {
+	if pooled != nil {
+		returned = true
 		e.arenas.Put(pooled)
 	}
 	return resp
 }
 
-// runReplay executes a trace-replay session.
-func (e *Engine) runReplay(id uint64, req *Request) *Response {
+// runReplay executes a trace-replay session, with the same explicit
+// return-or-drop arena accounting as runWorkload.
+func (e *Engine) runReplay(id uint64, req *Request, arena *string) *Response {
 	cfg := sanConfigByLabel(req.Sanitizer)
 	data, err := base64.StdEncoding.DecodeString(req.TraceB64)
 	if err != nil {
-		return errorResponse(id, req, "cold", fmt.Sprintf("trace_b64: %v", err))
+		return errorResponse(id, req, *arena, fmt.Sprintf("trace_b64: %v", err))
 	}
 
 	var (
-		env   rt.Runtime
-		arena = "unpooled"
+		env      rt.Runtime
+		pooled   *rt.Env
+		returned bool
 	)
+	*arena = "unpooled"
 	if cfg.IsLFP {
 		env = lfp.New(lfp.Config{HeapBytes: e.cfg.ReplayHeapBytes, MaxClass: 1 << 20})
 	} else {
-		pooled, warm := e.arenas.Get(rt.Config{
+		var warm bool
+		pooled, warm = e.arenas.Get(rt.Config{
 			Kind: cfg.Kind, HeapBytes: e.cfg.ReplayHeapBytes, Reference: cfg.Profile.Reference,
 		})
 		env = pooled
-		arena = "cold"
+		*arena = "cold"
 		if warm {
-			arena = "warm"
+			*arena = "warm"
 		}
+		defer func() {
+			if !returned {
+				e.arenas.Drop(pooled)
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -414,14 +614,15 @@ func (e *Engine) runReplay(id uint64, req *Request) *Response {
 	if err != nil {
 		// A malformed trace leaves the arena's state valid (Replay applies
 		// well-formed prefix operations only), but drop it anyway: trace
-		// errors are rare and a fresh arena is cheap insurance.
-		return errorResponse(id, req, arena, fmt.Sprintf("replay: %v", err))
+		// errors are rare and a fresh arena is cheap insurance. The
+		// deferred drop does it, and the pool counts it.
+		return errorResponse(id, req, *arena, fmt.Sprintf("replay: %v", err))
 	}
 
 	stats := env.San().Stats().Clone()
 	resp := &Response{
 		Session: id, Status: StatusOK, Sanitizer: req.Sanitizer,
-		Arena:      arena,
+		Arena:      *arena,
 		VirtualNs:  int64(bench.VirtualCost(uint64(res.Events), stats)),
 		WallNs:     wall.Nanoseconds(),
 		DeadlineNs: req.DeadlineNs,
@@ -429,7 +630,8 @@ func (e *Engine) runReplay(id uint64, req *Request) *Response {
 		Stats:      *stats,
 	}
 	e.recordErrors(resp, &res.Errors)
-	if pooled, ok := env.(*rt.Env); ok {
+	if pooled != nil {
+		returned = true
 		e.arenas.Put(pooled)
 	}
 	return resp

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"giantsan/internal/instrument"
+	"giantsan/internal/interp"
+	"giantsan/internal/ir"
+	"giantsan/internal/rt"
+	"giantsan/internal/workload"
+)
+
+func TestTierRequestValidation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	for _, req := range []Request{
+		{Workload: stressWorkload, Tier: "turbo"},                       // unknown tier
+		{Workload: stressWorkload, Tier: "full", Sanitizer: "giantsan"}, // mutually exclusive
+	} {
+		if _, err := e.Submit(req); err == nil {
+			t.Errorf("request %+v was accepted, want validation error", req)
+		}
+	}
+	// The tier-only sanitizer labels are directly requestable too.
+	for _, label := range []string{"fullcheck", "sampled8"} {
+		resp, err := e.Submit(Request{Workload: stressWorkload, Sanitizer: label})
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("sanitizer %q: resp=%+v err=%v", label, resp, err)
+		}
+		if resp.Tier != "" || resp.Downgraded {
+			t.Fatalf("pinned sanitizer %q got tier fields: %+v", label, resp)
+		}
+	}
+}
+
+// TestTierResolutionUnloaded: with an idle engine every rung runs exactly
+// as requested — no downgrades — and the response names both the rung and
+// the concrete sanitizer it resolved to.
+func TestTierResolutionUnloaded(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	want := map[string]string{
+		"full":    "fullcheck",
+		"elim":    "elimonly",
+		"cheap":   "cacheonly",
+		"sampled": "sampled8",
+	}
+	for tier, sanitizer := range want {
+		resp, err := e.Submit(Request{Workload: stressWorkload, Tier: tier})
+		if err != nil {
+			t.Fatalf("tier %s: %v", tier, err)
+		}
+		if resp.Status != StatusOK || resp.Tier != tier ||
+			resp.RequestedTier != tier || resp.Downgraded || resp.Sanitizer != sanitizer {
+			t.Fatalf("tier %s resolved wrong: %+v", tier, resp)
+		}
+	}
+}
+
+// TestTierDowngradeUnderLoad is the tentpole's contract: as the queue
+// fills, tiered sessions are degraded rung by rung instead of rejected,
+// and ErrQueueFull appears only once even the cheapest rung has no queue
+// slot left. Worker held at a gate, queue capacity 8, so the downgrade
+// floor steps at measured depths 2 (quarter), 4 (half) and 6
+// (three-quarters).
+func TestTierDowngradeUnderLoad(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	e := New(Config{Workers: 1, QueueDepth: 8, OnSessionStart: func(*Request) {
+		entered <- struct{}{}
+		<-gate
+	}})
+	defer e.Close()
+
+	req := Request{Workload: stressWorkload, Tier: "full"}
+	type out struct {
+		resp *Response
+		err  error
+	}
+	results := make([]out, 9)
+	var wg sync.WaitGroup
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.Submit(req)
+			results[i] = out{r, err}
+		}()
+	}
+
+	submit(0) // occupies the single worker at measured depth 0
+	<-entered
+	// Probes 1..8 fill the queue one by one; each sees the depth left by
+	// its predecessors, so the expected rung is a pure function of index.
+	for i := 1; i <= 8; i++ {
+		waitQueueDepth(e, i-1)
+		submit(i)
+	}
+	waitQueueDepth(e, 8)
+	// Queue full: now — and only now — tiered admission rejects.
+	if _, err := e.Submit(req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated submit err = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	wg.Wait()
+
+	wantTiers := []string{
+		"full",         // worker, measured depth 0
+		"full", "full", // depths 0, 1: below the quarter step
+		"elim", "elim", // depths 2, 3
+		"cheap", "cheap", // depths 4, 5
+		"sampled", "sampled", // depths 6, 7
+	}
+	downgrades := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("probe %d rejected (%v): under load tiered sessions must degrade, not 429", i, r.err)
+		}
+		if r.resp.Tier != wantTiers[i] {
+			t.Errorf("probe %d ran at tier %q, want %q", i, r.resp.Tier, wantTiers[i])
+		}
+		if r.resp.RequestedTier != "full" {
+			t.Errorf("probe %d requested_tier = %q", i, r.resp.RequestedTier)
+		}
+		if r.resp.Downgraded != (wantTiers[i] != "full") {
+			t.Errorf("probe %d downgraded = %v at tier %q", i, r.resp.Downgraded, r.resp.Tier)
+		}
+		if r.resp.Downgraded {
+			downgrades++
+		}
+	}
+	var m bytes.Buffer
+	e.WriteMetrics(&m)
+	for _, want := range []string{
+		fmt.Sprintf("gsan_sessions_downgraded_total %d", downgrades),
+		"gsan_sessions_rejected_total 1",
+		`gsan_sessions_tier_total{tier="full"} 3`,
+		`gsan_sessions_tier_total{tier="elim"} 2`,
+		`gsan_sessions_tier_total{tier="cheap"} 2`,
+		`gsan_sessions_tier_total{tier="sampled"} 2`,
+	} {
+		if !strings.Contains(m.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if downgrades != 6 {
+		t.Fatalf("%d downgrades, want 6", downgrades)
+	}
+}
+
+// TestTierBudgetDowngrade: the rolling virtual-clock budget is the second
+// load signal — once the mean session bill exceeds it, later tiered
+// sessions degrade even with an empty queue.
+func TestTierBudgetDowngrade(t *testing.T) {
+	e := New(Config{Workers: 1, TierBudgetNs: 1, TierWindow: 4})
+	defer e.Close()
+	first, err := e.Submit(Request{Workload: stressWorkload, Tier: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Downgraded || first.Tier != "full" {
+		t.Fatalf("empty window must not downgrade: %+v", first)
+	}
+	second, err := e.Submit(Request{Workload: stressWorkload, Tier: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Downgraded || second.Tier != "sampled" {
+		t.Fatalf("blown budget (mean %d ns vs 1 ns) must downgrade to the floor: %+v",
+			first.VirtualNs, second)
+	}
+
+	// A generous budget never triggers.
+	e2 := New(Config{Workers: 1, TierBudgetNs: 1 << 40, TierWindow: 4})
+	defer e2.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := e2.Submit(Request{Workload: stressWorkload, Tier: "full"})
+		if err != nil || resp.Downgraded {
+			t.Fatalf("run %d under generous budget: resp=%+v err=%v", i, resp, err)
+		}
+	}
+}
+
+// TestScaleOverflowRejected is the satellite-1 regression: HeapBytes ×
+// Scale used to be an unchecked uint64 multiply, so a huge scale wrapped
+// the product to a tiny (even zero-byte) arena request and sailed through
+// validation. Both the overflow and the configurable cap must reject
+// before any arena is built.
+func TestScaleOverflowRejected(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	w := workload.ByID(stressWorkload)
+	wrap := int(^uint64(0)/w.HeapBytes) + 1 // product ≥ 2^64 ⇒ wraps below HeapBytes
+	if _, err := e.Submit(Request{Workload: stressWorkload, Scale: wrap}); err == nil ||
+		!strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("wrapping scale %d: err = %v, want overflow rejection", wrap, err)
+	}
+	if got := e.m.started.Load(); got != 0 {
+		t.Fatalf("overflowing request started a session (%d)", got)
+	}
+
+	capped := New(Config{Workers: 1, MaxHeapBytes: 1})
+	defer capped.Close()
+	if _, err := capped.Submit(Request{Workload: stressWorkload}); err == nil ||
+		!strings.Contains(err.Error(), "cap") {
+		t.Fatalf("above-cap request: err = %v, want cap rejection", err)
+	}
+}
+
+// TestPrepareFailureReturnsArena is the satellite-2 regression: a session
+// whose compile step fails used to abandon its pooled arena — neither
+// shelved nor counted — so every such failure leaked one arena build.
+// The arena must come back to the shelf (Prepare never dirties it) and
+// the pool's books must stay closed.
+func TestPrepareFailureReturnsArena(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	req := Request{Workload: stressWorkload, Sanitizer: "giantsan"}
+	if _, err := e.Submit(req); err != nil { // builds and shelves the arena
+		t.Fatal(err)
+	}
+	e.prepare = func(*ir.Prog, instrument.Profile, rt.Runtime) (*interp.Exec, error) {
+		return nil, errors.New("injected compile failure")
+	}
+	resp, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || !strings.Contains(resp.Message, "injected") {
+		t.Fatalf("injected failure response: %+v", resp)
+	}
+	if resp.Arena != "warm" {
+		t.Fatalf("failed session arena = %q, want warm (served from the shelf)", resp.Arena)
+	}
+	as := e.ArenaStats()
+	if as.Dropped != 0 || as.Size != 1 {
+		t.Fatalf("prepare failure leaked the arena: %+v", as)
+	}
+	// The shelved arena serves the next tenant warm.
+	e.prepare = interp.Prepare
+	resp3, err := e.Submit(req)
+	if err != nil || resp3.Arena != "warm" {
+		t.Fatalf("post-failure session: resp=%+v err=%v, want warm arena", resp3, err)
+	}
+}
+
+// TestReplayErrorDropsArena: a failed replay discards its arena — that is
+// deliberate (cheap insurance) — but the discard must be counted, never a
+// silent leak.
+func TestReplayErrorDropsArena(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	tr := recordTrace(t, stressWorkload)
+	if _, err := e.Submit(Request{TraceB64: tr, Sanitizer: "giantsan"}); err != nil {
+		t.Fatal(err)
+	}
+	garbage := Request{TraceB64: "bm90IGEgdHJhY2U=", Sanitizer: "giantsan"} // "not a trace"
+	resp, err := e.Submit(garbage)
+	if err != nil || resp.Status != StatusError {
+		t.Fatalf("garbage replay: resp=%+v err=%v", resp, err)
+	}
+	as := e.ArenaStats()
+	if as.Dropped != 1 {
+		t.Fatalf("failed replay not counted dropped: %+v", as)
+	}
+	if as.Size != 0 {
+		t.Fatalf("suspect arena was shelved: %+v", as)
+	}
+}
+
+// TestPanickedSessionAccounting is the satellite-3 regression: a panicked
+// session used to skip finish (completed never incremented, the in-flight
+// gauge drifted up forever) and hardcode Arena: "cold" whatever actually
+// happened. It must now complete like any session, report the real arena
+// label, and its dropped arena must be on the pool's books.
+func TestPanickedSessionAccounting(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	req := Request{Workload: stressWorkload, Sanitizer: "giantsan"}
+	if _, err := e.Submit(req); err != nil { // warms the pool
+		t.Fatal(err)
+	}
+	e.prepare = func(*ir.Prog, instrument.Profile, rt.Runtime) (*interp.Exec, error) {
+		panic("poisoned compile")
+	}
+	resp, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || !strings.Contains(resp.Message, "panic (isolated)") {
+		t.Fatalf("panicked session response: %+v", resp)
+	}
+	if resp.Arena != "warm" {
+		t.Fatalf("panicked session arena = %q, want the real label (warm)", resp.Arena)
+	}
+	if started, completed := e.m.started.Load(), e.m.completed.Load(); started != 2 || completed != 2 {
+		t.Fatalf("started=%d completed=%d after panic, want 2/2 — panicked sessions must finish", started, completed)
+	}
+	if as := e.ArenaStats(); as.Dropped != 1 {
+		t.Fatalf("panicked session's arena not counted dropped: %+v", as)
+	}
+	var m bytes.Buffer
+	e.WriteMetrics(&m)
+	for _, want := range []string{"gsan_sessions_inflight 0", "gsan_sessions_panicked_total 1"} {
+		if !strings.Contains(m.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestAccountingInvariantUnderPanics stresses the started == completed +
+// in-flight invariant with a mix of healthy and panicking tenants.
+func TestAccountingInvariantUnderPanics(t *testing.T) {
+	e := New(Config{Workers: 4, QueueDepth: 64, OnSessionStart: func(r *Request) {
+		if r.Scale == 13 {
+			panic("poisoned tenant")
+		}
+	}})
+	defer e.Close()
+	const sessions = 24
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		scale := 1
+		if i%3 == 0 {
+			scale = 13
+		}
+		wg.Add(1)
+		go func(scale int) {
+			defer wg.Done()
+			if _, err := e.Submit(Request{Workload: stressWorkload, Sanitizer: "giantsan", Scale: scale}); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(scale)
+	}
+	wg.Wait()
+	started, completed := e.m.started.Load(), e.m.completed.Load()
+	if started != sessions || completed != sessions {
+		t.Fatalf("started=%d completed=%d, want %d/%d", started, completed, sessions, sessions)
+	}
+	if panicked := e.m.panicked.Load(); panicked != sessions/3 {
+		t.Fatalf("panicked=%d, want %d", panicked, sessions/3)
+	}
+}
+
+// TestHTTPTierRoundTrip: the tier fields survive the wire in both
+// directions, and tier/sanitizer exclusivity is a 400.
+func TestHTTPTierRoundTrip(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv.URL+"/sessions",
+		`{"workload":"`+stressWorkload+`","tier":"sampled"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("tiered POST = %d: %s", resp.StatusCode, body)
+	}
+	var out Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Tier != "sampled" || out.RequestedTier != "sampled" || out.Sanitizer != "sampled8" || out.Downgraded {
+		t.Fatalf("tier fields lost on the wire: %+v", out)
+	}
+	if resp, body := postJSON(t, srv.URL+"/sessions",
+		`{"workload":"`+stressWorkload+`","tier":"full","sanitizer":"giantsan"}`); resp.StatusCode != 400 {
+		t.Fatalf("tier+sanitizer POST = %d (%s), want 400", resp.StatusCode, body)
+	}
+}
