@@ -10,6 +10,7 @@
 //	giantbench -exp hotpath [-hotpath-out BENCH_hotpath.json]
 //	giantbench -exp metapath [-metapath-out BENCH_metapath.json]
 //	giantbench -exp tiers [-tiers-out BENCH_tiers.json] [-tiers-check]
+//	giantbench -exp canary [-canary-programs N] [-canary-plant NAME]
 //	giantbench -exp all
 //
 // -hotpath is shorthand for -exp hotpath: it microbenchmarks the checker
@@ -31,6 +32,15 @@
 // BENCH_tiers.json — the cost/coverage curve behind load-driven tier
 // downgrade. -tiers-check fails the run unless cost is strictly monotone
 // down the ladder and detection never increases (the CI gate).
+//
+// -exp canary runs the differential validation campaign (the offline
+// twin of the service's always-on canary): N generator-wheel programs,
+// each recorded and triple-replayed under the fast path, the reference
+// path and the byte-granular oracle. Per-seed runs are pure and merged
+// in seed order, so under the virtual clock the report is byte-identical
+// at any -parallel level. With no -canary-plant, any discrepancy fails
+// the run (exit 1) — that is the CI determinism/agreement gate. It is
+// not part of -exp all; ask for it by name.
 //
 // Engine flags:
 //
@@ -65,7 +75,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, canary, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
@@ -78,6 +88,9 @@ func main() {
 	tiersOut := flag.String("tiers-out", "BENCH_tiers.json", "output path for the tiers report")
 	tiersSeeds := flag.Int("tiers-seeds", 0, "planted-bug corpus seeds for the tiers suite; 0 = default")
 	tiersCheck := flag.Bool("tiers-check", false, "fail unless tier cost is strictly monotone down the ladder and detection never increases")
+	canaryPrograms := flag.Int("canary-programs", 200, "generated programs for the canary campaign")
+	canaryPlant := flag.String("canary-plant", "", "inject a named fast-path mutation into the canary campaign")
+	canaryOut := flag.String("canary-out", "", "optional output path for the canary campaign JSON report")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (table2, ablation, fig10)")
 	par := flag.Int("parallel", 0, "matrix worker count; 0 = GOMAXPROCS")
 	timeout := flag.Duration("timeout", 0, "per-item timeout guard; 0 disables")
@@ -269,6 +282,46 @@ func main() {
 		}
 		return nil
 	})
+	// The canary campaign runs only when asked for by name: unlike the
+	// paper tables it is a validation suite, and its "fail on any
+	// discrepancy" exit contract should not ambush -exp all.
+	if *exp == "canary" {
+		rep, err := bench.CanaryRun(*canaryPrograms, *canaryPlant, "", engine("canary"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "giantbench: canary: %v\n", err)
+			os.Exit(1)
+		}
+		if *canaryOut != "" {
+			f, err := os.Create(*canaryOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "giantbench: canary: %v\n", err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "giantbench: canary: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "giantbench: canary: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println("Differential validation canary — fast vs reference vs oracle over generated programs")
+			fmt.Print(bench.RenderCanary(rep))
+		}
+		// A discrepancy with no plant is a real fast-path drift: fail the
+		// run. With a plant, discrepancies are the expected outcome.
+		if *canaryPlant == "" && (rep.Discrepancies > 0 || rep.Failures > 0) {
+			os.Exit(1)
+		}
+	}
+
 	run("fig11", func() error {
 		pts, err := bench.Fig11Run([]uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}, 50**reps, engine("fig11"))
 		if err != nil {

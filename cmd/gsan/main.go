@@ -11,7 +11,8 @@
 //	gsan -workload 505.mcf_r -record run.trace
 //	gsan -replay run.trace -san asan
 //	gsan -serve :8080 [-serve-workers N] [-serve-queue N] [-max-heap-bytes N]
-//	     [-tier-budget-ns N] [-tier-window N]
+//	     [-tier-budget-ns N] [-tier-window N] [-serve-canary]
+//	gsan -canary 200 [-canary-dir DIR] [-canary-plant NAME]
 //	gsan -list
 //
 // -tier runs the workload at a rung of the service's sanitization ladder
@@ -21,6 +22,17 @@
 // queue pressure or when the rolling mean virtual bill blows the budget,
 // and are only rejected with 429 when even the cheapest rung has no
 // queue slot.
+//
+// -canary N runs a one-shot differential validation campaign: N
+// generated programs, each recorded and replayed under the fast path,
+// the reference path and the byte-granular oracle, with any discrepancy
+// ddmin-shrunk to a 1-minimal trace. Exit status 1 means discrepancies
+// were found. -serve-canary runs the same validation continuously inside
+// the service, in spare worker capacity only. Divergence artifacts
+// (shrunk trace + JSON description) land in -canary-dir; -canary-plant
+// (or the GSAN_CANARY_PLANT environment variable) injects a deliberate
+// fast-path bug, the seam the CI smoke job uses to prove the pipeline
+// detects, shrinks and persists real divergence.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/canary"
 	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
 	"giantsan/internal/lfp"
@@ -67,14 +80,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxHeapBytes := fs.Uint64("max-heap-bytes", 0, "serve mode: cap on a session's scaled heap (0 = 4 GiB)")
 	tierBudgetNs := fs.Int64("tier-budget-ns", 0, "serve mode: per-session virtual budget driving tier downgrades (0 = off)")
 	tierWindow := fs.Int("tier-window", 0, "serve mode: rolling window of sessions the budget averages over (0 = 32)")
+	canaryN := fs.Int("canary", 0, "run a one-shot differential validation campaign over N generated programs")
+	serveCanary := fs.Bool("serve-canary", false, "serve mode: enable the always-on differential validation canary")
+	canaryDir := fs.String("canary-dir", "", "directory for canary divergence artifacts (shrunk trace + JSON)")
+	canaryPlant := fs.String("canary-plant", "", "inject a named fast-path mutation into the canary (test seam; also GSAN_CANARY_PLANT)")
+	canaryInterval := fs.Duration("canary-interval", 0, "serve mode: pacing between canary runs (0 = 25ms)")
+	canaryMaxQueue := fs.Int("canary-max-queue", 0, "serve mode: admit canary runs only while queue depth is at or below this")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *canaryPlant == "" {
+		*canaryPlant = os.Getenv("GSAN_CANARY_PLANT")
 	}
 
 	// The modes are mutually exclusive; a command line that asks for two
 	// of them is a mistake, not a priority question — refuse it.
 	modes := 0
-	for _, on := range []bool{*list, *replay != "", *record != "", *serve != ""} {
+	for _, on := range []bool{*list, *replay != "", *record != "", *serve != "", *canaryN > 0} {
 		if on {
 			modes++
 		}
@@ -84,11 +106,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case *replay != "" && *record != "":
 			fmt.Fprintln(stderr, "gsan: -replay and -record are mutually exclusive (replay consumes a trace, record produces one)")
 		case *list:
-			fmt.Fprintln(stderr, "gsan: -list cannot be combined with -record, -replay or -serve")
+			fmt.Fprintln(stderr, "gsan: -list cannot be combined with -record, -replay, -serve or -canary")
 		default:
-			fmt.Fprintln(stderr, "gsan: pick one mode: -list, -record, -replay or -serve")
+			fmt.Fprintln(stderr, "gsan: pick one mode: -list, -record, -replay, -serve or -canary")
 		}
 		return 2
+	}
+	if *canaryPlant != "" {
+		if _, err := canary.PlantByName(*canaryPlant); err != nil {
+			fmt.Fprintln(stderr, "gsan:", err)
+			return 2
+		}
 	}
 
 	switch {
@@ -99,12 +127,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	case *serve != "":
 		return serveHTTP(*serve, service.Config{
-			Workers:      *serveWorkers,
-			QueueDepth:   *serveQueue,
-			MaxHeapBytes: *maxHeapBytes,
-			TierBudgetNs: *tierBudgetNs,
-			TierWindow:   *tierWindow,
+			Workers:        *serveWorkers,
+			QueueDepth:     *serveQueue,
+			MaxHeapBytes:   *maxHeapBytes,
+			TierBudgetNs:   *tierBudgetNs,
+			TierWindow:     *tierWindow,
+			CanaryEnabled:  *serveCanary,
+			CanaryDir:      *canaryDir,
+			CanaryPlant:    *canaryPlant,
+			CanaryInterval: *canaryInterval,
+			CanaryMaxQueue: *canaryMaxQueue,
 		}, stdout, stderr)
+	case *canaryN > 0:
+		return canaryCampaign(*canaryN, *canaryPlant, *canaryDir, stdout, stderr)
 	case *replay != "":
 		return replayTrace(*replay, *sanName, stdout, stderr)
 	case *record != "":
@@ -191,6 +226,25 @@ func serveHTTP(addr string, cfg service.Config, stdout, stderr io.Writer) int {
 		eng.Close()
 		return 1
 	}
+}
+
+// canaryCampaign runs a one-shot differential validation campaign: the
+// offline twin of the service's always-on canary. Exit codes: 0 clean,
+// 1 discrepancies found (or the campaign failed to run).
+func canaryCampaign(programs int, plant, dir string, stdout, stderr io.Writer) int {
+	rep, err := bench.CanaryRun(programs, plant, dir, bench.Options{VirtualTime: true})
+	if err != nil {
+		fmt.Fprintln(stderr, "gsan:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, bench.RenderCanary(rep))
+	if rep.Discrepancies > 0 || rep.Failures > 0 {
+		if dir != "" {
+			fmt.Fprintf(stdout, "repro artifacts written to %s\n", dir)
+		}
+		return 1
+	}
+	return 0
 }
 
 // recordRun executes the workload under GiantSan with a trace recorder

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"giantsan/internal/canary"
+	"giantsan/internal/parallel"
+	"giantsan/internal/texttable"
+)
+
+// This file is the offline campaign driver for the differential
+// validation canary (internal/canary): N generator-wheel seeds, each
+// recorded once and triple-replayed (fast path, reference path,
+// byte-granular oracle), sharded across the experiment engine. Per-seed
+// runs are shared-nothing and seed-deterministic, and the report is
+// merged in seed order, so output is byte-identical at any -parallel
+// level — the same determinism contract as every other suite here. The
+// virtual clock prices each leg's replay from its counted work, keeping
+// the "what does always-on validation cost" number machine-independent.
+
+// CanaryCase is one campaign seed's outcome.
+type CanaryCase struct {
+	Seed       int64  `json:"seed"`
+	Program    string `json:"program"`
+	PlantedBug string `json:"planted_bug"`
+	Events     int    `json:"events"`
+	// Detected is the fast leg's error total; OracleViolations the
+	// ground truth's.
+	Detected         int `json:"detected"`
+	OracleViolations int `json:"oracle_violations"`
+	// FastVirtualNs/RefVirtualNs bill each leg's replay on the virtual
+	// clock (only meaningful under Options.VirtualTime).
+	FastVirtualNs int64 `json:"fast_virtual_ns"`
+	RefVirtualNs  int64 `json:"ref_virtual_ns"`
+	// Divergence is empty when the legs agree; otherwise the rendered
+	// discrepancy, with the shrink outcome alongside.
+	Divergence    string `json:"divergence,omitempty"`
+	MinEvents     int    `json:"min_events,omitempty"`
+	ShrinkSteps   int    `json:"shrink_steps,omitempty"`
+	ShrinkReplays int    `json:"shrink_replays,omitempty"`
+	OneMinimal    bool   `json:"one_minimal,omitempty"`
+}
+
+// CanaryReport is one campaign's merged outcome.
+type CanaryReport struct {
+	Programs int    `json:"programs"`
+	Plant    string `json:"plant,omitempty"`
+	// Discrepancies counts divergent seeds; Cases carries every seed in
+	// seed order.
+	Discrepancies int          `json:"discrepancies"`
+	Failures      int          `json:"failures"`
+	Cases         []CanaryCase `json:"cases"`
+	// TotalFastVirtualNs/TotalRefVirtualNs aggregate the per-leg bills:
+	// the campaign's virtual price tag.
+	TotalFastVirtualNs int64 `json:"total_fast_virtual_ns"`
+	TotalRefVirtualNs  int64 `json:"total_ref_virtual_ns"`
+}
+
+// CanaryRun executes an offline canary campaign over seeds 0..programs-1.
+// plant optionally injects a fast-path mutation (the CI smoke seam); dir
+// optionally persists divergence artifacts. Per-seed canary runs are
+// pure, so the engine shards them freely and the merged report is
+// deterministic.
+func CanaryRun(programs int, plant, dir string, opts Options) (*CanaryReport, error) {
+	if programs <= 0 {
+		programs = 200
+	}
+	c, err := canary.New(canary.Config{Plant: plant, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	results, err := parallel.Map(programs, opts.pool(), func(i int) (*canary.Result, error) {
+		return c.RunSeed(int64(i))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CanaryReport{Programs: programs, Plant: plant}
+	for _, res := range results {
+		cc := CanaryCase{
+			Seed:             res.Seed,
+			Program:          res.Program,
+			PlantedBug:       res.PlantedBug,
+			Events:           res.Events,
+			Detected:         res.Fast.ErrorTotal,
+			OracleViolations: res.Oracle.Violations,
+			FastVirtualNs:    int64(VirtualCost(res.Fast.Accesses, &res.Fast.Stats)),
+			RefVirtualNs:     int64(VirtualCost(res.Ref.Accesses, &res.Ref.Stats)),
+		}
+		if res.Divergence != nil {
+			rep.Discrepancies++
+			cc.Divergence = res.Divergence.Kind
+			cc.MinEvents = res.MinEvents
+			cc.ShrinkSteps = res.ShrinkSteps
+			cc.ShrinkReplays = res.ShrinkReplays
+			cc.OneMinimal = res.OneMinimal
+		}
+		rep.TotalFastVirtualNs += cc.FastVirtualNs
+		rep.TotalRefVirtualNs += cc.RefVirtualNs
+		rep.Cases = append(rep.Cases, cc)
+	}
+	rep.Failures = int(c.Snapshot().Failures)
+	return rep, nil
+}
+
+// RenderCanary formats the campaign summary: per-bug-class totals, the
+// virtual price of both legs, and one row per divergent seed.
+func RenderCanary(rep *CanaryReport) string {
+	type agg struct{ runs, detected int }
+	perBug := map[string]*agg{}
+	order := []string{}
+	for _, cc := range rep.Cases {
+		a := perBug[cc.PlantedBug]
+		if a == nil {
+			a = &agg{}
+			perBug[cc.PlantedBug] = a
+			order = append(order, cc.PlantedBug)
+		}
+		a.runs++
+		if cc.Detected > 0 {
+			a.detected++
+		}
+	}
+	tb := texttable.New("Class", "Programs", "Detected", "FastVirtual", "RefVirtual")
+	for _, bug := range order {
+		a := perBug[bug]
+		tb.Add(bug, fmt.Sprintf("%d", a.runs), fmt.Sprintf("%d", a.detected), "", "")
+	}
+	tb.Add("total", fmt.Sprintf("%d", rep.Programs), "",
+		fmt.Sprintf("%dns", rep.TotalFastVirtualNs), fmt.Sprintf("%dns", rep.TotalRefVirtualNs))
+	out := tb.String()
+	out += fmt.Sprintf("discrepancies: %d, failures: %d\n", rep.Discrepancies, rep.Failures)
+	for _, cc := range rep.Cases {
+		if cc.Divergence == "" {
+			continue
+		}
+		out += fmt.Sprintf("  seed %d (%s): %s — shrunk %d -> %d events in %d steps (%d replays, 1-minimal=%v)\n",
+			cc.Seed, cc.PlantedBug, cc.Divergence, cc.Events, cc.MinEvents, cc.ShrinkSteps, cc.ShrinkReplays, cc.OneMinimal)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// canaryPrograms sizes the campaign determinism test; the race detector
+// shrinks it (the wheel still cycles through every program class).
+func canaryPrograms() int {
+	if raceEnabled {
+		return 25
+	}
+	return 60
+}
+
+// TestCanaryCampaignDeterministicAcrossParallelism: the acceptance
+// property of -exp canary — the merged report and its rendering are
+// byte-identical at -parallel 1 and 8 under the virtual clock, and a
+// plantless campaign reports zero discrepancies.
+func TestCanaryCampaignDeterministicAcrossParallelism(t *testing.T) {
+	n := canaryPrograms()
+	seq, err := CanaryRun(n, "", "", Options{Parallel: 1, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CanaryRun(n, "", "", Options{Parallel: 8, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("campaign differs across parallelism:\n%+v\n%+v", seq, par)
+	}
+	if a, b := RenderCanary(seq), RenderCanary(par); a != b {
+		t.Fatalf("rendered campaigns differ:\n%s\n%s", a, b)
+	}
+	if seq.Discrepancies != 0 || seq.Failures != 0 {
+		t.Fatalf("honest campaign found %d discrepancies, %d failures:\n%s",
+			seq.Discrepancies, seq.Failures, RenderCanary(seq))
+	}
+	if len(seq.Cases) != n {
+		t.Fatalf("%d cases for %d programs", len(seq.Cases), n)
+	}
+}
+
+// TestCanaryCampaignWithPlant: a planted campaign must surface at least
+// one shrunk, 1-minimal discrepancy in its report.
+func TestCanaryCampaignWithPlant(t *testing.T) {
+	rep, err := CanaryRun(canaryPrograms(), "mask-width8", "", Options{Parallel: 4, VirtualTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discrepancies == 0 {
+		t.Fatalf("plant produced no discrepancies:\n%s", RenderCanary(rep))
+	}
+	for _, cc := range rep.Cases {
+		if cc.Divergence == "" {
+			continue
+		}
+		if !cc.OneMinimal || cc.MinEvents == 0 || cc.MinEvents > cc.Events {
+			t.Fatalf("bad shrink outcome: %+v", cc)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package canary
+
+import (
+	"fmt"
+	"sort"
+
+	"giantsan/internal/report"
+	"giantsan/internal/rt"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// Plant is an injectable fast-path mutation: a deliberate bug wrapped
+// around the fast leg's runtime so tests and the CI smoke job can verify
+// the canary detects, shrinks and reports real divergence. Production
+// runs use no plant.
+type Plant interface {
+	// Name is the flag/env spelling of the plant.
+	Name() string
+	// Wrap returns run with the mutation applied. Only the fast leg is
+	// ever wrapped; the reference and oracle legs see the honest runtime.
+	Wrap(run rt.Runtime) rt.Runtime
+}
+
+// plants maps name → constructor. Each plant models a distinct fast-path
+// bug class: a false negative (checks that swallow their verdict), a
+// false positive (phantom reports on clean accesses), and counter drift
+// (work accounted twice).
+var plants = map[string]func() Plant{
+	"mask-width8":   func() Plant { return maskWidth8{} },
+	"phantom-mod64": func() Plant { return phantomMod64{} },
+	"stats-drift":   func() Plant { return statsDrift{} },
+}
+
+// PlantByName returns the named plant, or an error listing the valid
+// names. The empty name means no plant.
+func PlantByName(name string) (Plant, error) {
+	if name == "" {
+		return nil, nil
+	}
+	mk, ok := plants[name]
+	if !ok {
+		return nil, fmt.Errorf("canary: unknown plant %q (have %v)", name, PlantNames())
+	}
+	return mk(), nil
+}
+
+// PlantNames lists the available plants, sorted.
+func PlantNames() []string {
+	names := make([]string, 0, len(plants))
+	for n := range plants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// plantedRuntime substitutes a mutated sanitizer for run.San(). The
+// runtime's allocators keep their direct reference to the honest
+// sanitizer, so poisoning is unaffected — exactly like a real fast-path
+// bug in the check sequences, not the metadata.
+type plantedRuntime struct {
+	rt.Runtime
+	s san.Sanitizer
+}
+
+func (p *plantedRuntime) San() san.Sanitizer { return p.s }
+
+// maskWidth8 swallows the verdict of every width-8 check: the fast path
+// "forgets" to report what it found. The honest checker still runs, so
+// Stats and shadow state are identical — only the verdict diverges.
+type maskWidth8 struct{}
+
+func (maskWidth8) Name() string { return "mask-width8" }
+
+func (maskWidth8) Wrap(run rt.Runtime) rt.Runtime {
+	return &plantedRuntime{Runtime: run, s: &maskWidth8San{run.San()}}
+}
+
+type maskWidth8San struct{ san.Sanitizer }
+
+func (m *maskWidth8San) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	err := m.Sanitizer.CheckAccess(p, w, t)
+	if w == 8 {
+		return nil
+	}
+	return err
+}
+
+func (m *maskWidth8San) CheckAnchored(anchor, p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	err := m.Sanitizer.CheckAnchored(anchor, p, w, t)
+	if w == 8 {
+		return nil
+	}
+	return err
+}
+
+// phantomMod64 fabricates a heap-buffer-overflow report for clean
+// width-1 accesses whose address is ≡ 7 (mod 64) — a false positive
+// keyed on an address property, so it stays reproducible as the shrinker
+// removes unrelated events (as long as the triggering access keeps its
+// address, which the predicate's kind check enforces).
+type phantomMod64 struct{}
+
+func (phantomMod64) Name() string { return "phantom-mod64" }
+
+func (phantomMod64) Wrap(run rt.Runtime) rt.Runtime {
+	return &plantedRuntime{Runtime: run, s: &phantomMod64San{run.San()}}
+}
+
+type phantomMod64San struct{ san.Sanitizer }
+
+func (m *phantomMod64San) phantom(p vmem.Addr, w uint64, t report.AccessType, err *report.Error) *report.Error {
+	if err == nil && w == 1 && p%64 == 7 {
+		return &report.Error{
+			Kind:     report.HeapBufferOverflow,
+			Access:   t,
+			Addr:     uint64(p),
+			Size:     w,
+			Detector: m.Sanitizer.Name(),
+			Context:  "canary-plant:phantom-mod64",
+		}
+	}
+	return err
+}
+
+func (m *phantomMod64San) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	return m.phantom(p, w, t, m.Sanitizer.CheckAccess(p, w, t))
+}
+
+func (m *phantomMod64San) CheckAnchored(anchor, p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	return m.phantom(p, w, t, m.Sanitizer.CheckAnchored(anchor, p, w, t))
+}
+
+// statsDrift runs every width-4 check twice and reports the first
+// verdict: verdicts, error logs and shadow bytes all match the reference
+// leg, but the Stats counters drift — the subtlest divergence class the
+// canary distinguishes.
+type statsDrift struct{}
+
+func (statsDrift) Name() string { return "stats-drift" }
+
+func (statsDrift) Wrap(run rt.Runtime) rt.Runtime {
+	return &plantedRuntime{Runtime: run, s: &statsDriftSan{run.San()}}
+}
+
+type statsDriftSan struct{ san.Sanitizer }
+
+func (m *statsDriftSan) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	err := m.Sanitizer.CheckAccess(p, w, t)
+	if w == 4 {
+		m.Sanitizer.CheckAccess(p, w, t)
+	}
+	return err
+}
+
+func (m *statsDriftSan) CheckAnchored(anchor, p vmem.Addr, w uint64, t report.AccessType) *report.Error {
+	err := m.Sanitizer.CheckAnchored(anchor, p, w, t)
+	if w == 4 {
+		m.Sanitizer.CheckAnchored(anchor, p, w, t)
+	}
+	return err
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package canary
+
+// raceEnabled: the race detector multiplies replay cost ~10×, so the
+// differential suites self-shrink their seed ranges while keeping every
+// program class covered.
+const raceEnabled = true

@@ -1,0 +1,124 @@
+// Package canary is the service's always-on differential validator: it
+// continuously generates mini-IR programs (internal/progen), records each
+// to a trace, replays the trace under the sanitizer's fast path, its
+// reference path, and the byte-granular oracle, and diffs everything the
+// three legs observe — verdicts, rendered error reports, san.Stats
+// deltas, and final shadow state. UBfuzz-style, the sanitizer itself is
+// the system under test: fast paths drift from reference semantics
+// silently, and the canary turns the repo's test-time differential tools
+// into a continuous property of the running service.
+//
+// Any discrepancy is delta-debugged to a 1-minimal reproducing trace
+// (Shrink, classic ddmin over trace events with replay-based validity
+// checks) and persisted as a replayable artifact: the shrunk trace plus a
+// JSON description of the divergence and the exact runtime config.
+package canary
+
+import "giantsan/internal/trace"
+
+// ShrinkResult describes one ddmin run.
+type ShrinkResult struct {
+	// Events is the reduced trace, still satisfying the predicate.
+	Events []trace.Event
+	// Steps counts successful reductions (each shrank the trace).
+	Steps int
+	// Tests counts predicate invocations (each is a triple replay).
+	Tests int
+	// Minimal reports whether the result is verified 1-minimal: a full
+	// singleton-granularity pass completed with no complement passing,
+	// i.e. removing any single event loses the reproduction. False only
+	// when the test budget ran out first.
+	Minimal bool
+}
+
+// Shrink reduces events to a minimal subsequence still satisfying test,
+// using the ddmin delta-debugging algorithm: try subsets, then
+// complements, doubling granularity when neither shrinks, until the
+// trace is 1-minimal. test must hold for the input events; it is the
+// caller's replay-based validity check (candidates that do not decode or
+// replay simply fail it). maxTests bounds predicate invocations
+// (0 means 2048); if the budget runs out the best reduction so far is
+// returned with Minimal=false.
+func Shrink(events []trace.Event, test func([]trace.Event) bool, maxTests int) ShrinkResult {
+	if maxTests <= 0 {
+		maxTests = 2048
+	}
+	res := ShrinkResult{Events: events}
+	cur := events
+	n := 2
+	for len(cur) >= 2 {
+		if n > len(cur) {
+			n = len(cur)
+		}
+		reduced := false
+		// Subsets: does one chunk alone still reproduce?
+		for i := 0; i < n && !reduced; i++ {
+			cand := chunk(cur, n, i)
+			if res.Tests >= maxTests {
+				res.Events = cur
+				return res
+			}
+			res.Tests++
+			if test(cand) {
+				cur, n, reduced = cand, 2, true
+				res.Steps++
+			}
+		}
+		// Complements: does dropping one chunk keep the reproduction?
+		// At n == 2 each complement equals the other subset, already
+		// tested above.
+		if !reduced && n > 2 {
+			for i := 0; i < n && !reduced; i++ {
+				cand := complement(cur, n, i)
+				if res.Tests >= maxTests {
+					res.Events = cur
+					return res
+				}
+				res.Tests++
+				if test(cand) {
+					cur, reduced = cand, true
+					if n > 2 {
+						n--
+					}
+					res.Steps++
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				// Full granularity: every single-event removal failed, so
+				// the trace is 1-minimal.
+				res.Events = cur
+				res.Minimal = true
+				return res
+			}
+			n *= 2
+		}
+	}
+	// 0- or 1-event traces are trivially 1-minimal (the only removal
+	// yields the empty trace, on which no divergence can reproduce).
+	res.Events = cur
+	res.Minimal = true
+	return res
+}
+
+// chunk returns the i-th of n contiguous pieces of events.
+func chunk(events []trace.Event, n, i int) []trace.Event {
+	lo, hi := bounds(len(events), n, i)
+	return events[lo:hi]
+}
+
+// complement returns events with the i-th of n pieces removed.
+func complement(events []trace.Event, n, i int) []trace.Event {
+	lo, hi := bounds(len(events), n, i)
+	out := make([]trace.Event, 0, len(events)-(hi-lo))
+	out = append(out, events[:lo]...)
+	out = append(out, events[hi:]...)
+	return out
+}
+
+// bounds splits length len into n near-equal pieces and returns the
+// half-open range of piece i.
+func bounds(length, n, i int) (int, int) {
+	return length * i / n, length * (i + 1) / n
+}

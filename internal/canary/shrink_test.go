@@ -1,0 +1,134 @@
+package canary
+
+import (
+	"math/rand"
+	"testing"
+
+	"giantsan/internal/trace"
+)
+
+// synthetic makes n events whose Off field encodes their identity, so
+// predicates can target specific events regardless of position.
+func synthetic(n int) []trace.Event {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = trace.Event{Op: trace.OpAccess, Reg: 0, Off: int64(i), Width: 1}
+	}
+	return evs
+}
+
+// contains reports whether events includes every identity in want.
+func contains(events []trace.Event, want []int64) bool {
+	have := map[int64]bool{}
+	for _, ev := range events {
+		have[ev.Off] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShrinkFindsTargetSubset: ddmin over a predicate requiring a fixed
+// set of events must return exactly that set, verified 1-minimal.
+func TestShrinkFindsTargetSubset(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want []int64
+	}{
+		{1, []int64{0}},
+		{8, []int64{3}},
+		{50, []int64{7, 31}},
+		{100, []int64{0, 49, 99}},
+		{63, []int64{20, 21, 22}},
+	} {
+		evs := synthetic(tc.n)
+		res := Shrink(evs, func(cand []trace.Event) bool { return contains(cand, tc.want) }, 0)
+		if len(res.Events) != len(tc.want) || !contains(res.Events, tc.want) {
+			t.Errorf("n=%d want=%v: got %d events %v", tc.n, tc.want, len(res.Events), res.Events)
+		}
+		if !res.Minimal {
+			t.Errorf("n=%d want=%v: not verified 1-minimal", tc.n, tc.want)
+		}
+	}
+}
+
+// TestShrinkPropertyOneMinimal: for random targets, the output (a) still
+// satisfies the predicate, (b) is 1-minimal — removing any single event
+// breaks it — and (c) preserves relative event order.
+func TestShrinkPropertyOneMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(120) + 2
+		k := rng.Intn(4) + 1
+		want := map[int64]bool{}
+		for len(want) < k {
+			want[int64(rng.Intn(n))] = true
+		}
+		targets := make([]int64, 0, k)
+		for w := range want {
+			targets = append(targets, w)
+		}
+		pred := func(cand []trace.Event) bool { return contains(cand, targets) }
+
+		res := Shrink(synthetic(n), pred, 0)
+		if !pred(res.Events) {
+			t.Fatalf("trial %d: output no longer satisfies the predicate", trial)
+		}
+		if !res.Minimal {
+			t.Fatalf("trial %d: Minimal=false with unlimited budget", trial)
+		}
+		for i := range res.Events {
+			drop := append(append([]trace.Event{}, res.Events[:i]...), res.Events[i+1:]...)
+			if pred(drop) {
+				t.Fatalf("trial %d: removing event %d keeps the repro — not 1-minimal", trial, i)
+			}
+		}
+		for i := 1; i < len(res.Events); i++ {
+			if res.Events[i-1].Off >= res.Events[i].Off {
+				t.Fatalf("trial %d: event order not preserved: %v", trial, res.Events)
+			}
+		}
+	}
+}
+
+// TestShrinkValidityRejection: a predicate that rejects "invalid"
+// candidates (modelling replay failures) still converges — the shrinker
+// must treat rejection as "keep looking", not corruption.
+func TestShrinkValidityRejection(t *testing.T) {
+	// Valid candidates must contain event 0 (the "malloc"); the target
+	// is {0, 41}. Candidates without the malloc are invalid.
+	evs := synthetic(64)
+	pred := func(cand []trace.Event) bool {
+		if !contains(cand, []int64{0}) {
+			return false // invalid: no allocation to access
+		}
+		return contains(cand, []int64{41})
+	}
+	res := Shrink(evs, pred, 0)
+	if len(res.Events) != 2 || !contains(res.Events, []int64{0, 41}) {
+		t.Fatalf("got %v", res.Events)
+	}
+	if !res.Minimal {
+		t.Fatal("not verified 1-minimal")
+	}
+}
+
+// TestShrinkBudget: an exhausted test budget returns the best-so-far
+// reduction with Minimal=false, never an unsatisfying trace.
+func TestShrinkBudget(t *testing.T) {
+	evs := synthetic(200)
+	pred := func(cand []trace.Event) bool { return contains(cand, []int64{150}) }
+	res := Shrink(evs, pred, 5)
+	if !pred(res.Events) {
+		t.Fatal("budget-cut output no longer satisfies the predicate")
+	}
+	if res.Minimal {
+		t.Fatal("Minimal=true despite a 5-test budget")
+	}
+	if res.Tests > 5 {
+		t.Fatalf("ran %d tests with budget 5", res.Tests)
+	}
+}

@@ -32,6 +32,53 @@ type buffer struct {
 	heap bool
 }
 
+// minAllocSize floors every generated allocation. A zero- (or
+// near-zero-) size buffer would make every "in-bounds" access of it
+// vacuous — differential fast-vs-reference runs over such a program pass
+// without exercising any check — so the generator guarantees room for
+// the widest access (8 bytes) plus slack.
+const minAllocSize = 16
+
+// BugKind selects which planted memory error a BuggyKind program
+// contains. The canary's seed corpus rotates through all kinds so every
+// error class the sanitizers report is continuously exercised, not just
+// the right-redzone overflow Buggy plants.
+type BugKind int
+
+// Planted bug kinds.
+const (
+	// BugOverflow is an access past an allocation's end, inside the right
+	// redzone (the classic Buggy plant).
+	BugOverflow BugKind = iota
+	// BugUnderflow is an access below an allocation's base, inside the
+	// left redzone.
+	BugUnderflow
+	// BugUseAfterFree is a read of a heap buffer after it was freed.
+	BugUseAfterFree
+	// BugDoubleFree is a second free of an already-freed heap buffer.
+	BugDoubleFree
+)
+
+// BugKinds lists every planted bug kind, in rotation order.
+func BugKinds() []BugKind {
+	return []BugKind{BugOverflow, BugUnderflow, BugUseAfterFree, BugDoubleFree}
+}
+
+func (k BugKind) String() string {
+	switch k {
+	case BugOverflow:
+		return "overflow"
+	case BugUnderflow:
+		return "underflow"
+	case BugUseAfterFree:
+		return "use-after-free"
+	case BugDoubleFree:
+		return "double-free"
+	default:
+		return fmt.Sprintf("bugkind(%d)", int(k))
+	}
+}
+
 // Gen holds generator state.
 type Gen struct {
 	rng    *rand.Rand
@@ -47,6 +94,12 @@ type Gen struct {
 	// true so a planted bug always executes); it must match between the
 	// counting probe and the planting run so access ordinals line up.
 	buggyShape bool
+	// underflow flips the planted spatial bug below the allocation base
+	// (left redzone) instead of past its end.
+	underflow bool
+	// freed records buffers the trailing free pass released, so temporal
+	// bug planting knows whether it must free its victim first.
+	freed map[string]bool
 	// Bugged reports whether the bug site was actually emitted.
 	Bugged bool
 }
@@ -61,18 +114,66 @@ func Clean(seed int64) *ir.Prog {
 // The second return is false in the rare case the chosen site was not
 // reached (caller should skip the seed).
 func Buggy(seed int64) (*ir.Prog, bool) {
+	return spatialBuggy(seed, false)
+}
+
+func spatialBuggy(seed int64, underflow bool) (*ir.Prog, bool) {
 	probe := &Gen{rng: rand.New(rand.NewSource(seed)), bugAt: -1, buggyShape: true}
 	probe.prog("probe")
 	if probe.accesses == 0 {
 		return nil, false
 	}
+	name := "fuzz-buggy"
+	if underflow {
+		name = "fuzz-under"
+	}
 	g := &Gen{
 		rng:        rand.New(rand.NewSource(seed)),
 		bugAt:      rand.New(rand.NewSource(seed ^ 0x5eed)).Intn(probe.accesses),
 		buggyShape: true,
+		underflow:  underflow,
 	}
-	p := g.prog(fmt.Sprintf("fuzz-buggy-%d", seed))
+	p := g.prog(fmt.Sprintf("%s-%d", name, seed))
 	return p, g.Bugged
+}
+
+// BuggyKind generates a program with exactly one planted bug of the
+// given kind. Spatial kinds reuse the Buggy site-planting machinery
+// (which keeps Buggy's behaviour byte-identical for existing callers);
+// temporal kinds append a deterministic epilogue to the clean-shaped
+// program: the victim buffer is freed (if the trailing free pass did not
+// already free it) and then re-read (use-after-free) or re-freed
+// (double-free). The second return is false when the generator could not
+// plant the bug for this seed (caller should skip it).
+func BuggyKind(seed int64, kind BugKind) (*ir.Prog, bool) {
+	switch kind {
+	case BugOverflow:
+		return Buggy(seed)
+	case BugUnderflow:
+		return spatialBuggy(seed, true)
+	}
+	g := &Gen{rng: rand.New(rand.NewSource(seed)), bugAt: -1}
+	p := g.prog(fmt.Sprintf("fuzz-%s-%d", kind, seed))
+	if len(g.bufs) == 0 {
+		return nil, false
+	}
+	victim := g.bufs[rand.New(rand.NewSource(seed^0x7ee1)).Intn(len(g.bufs))]
+	if !victim.heap {
+		return nil, false
+	}
+	if !g.freed[victim.name] {
+		p.Body = append(p.Body, &ir.Free{Ptr: victim.name})
+	}
+	switch kind {
+	case BugUseAfterFree:
+		p.Body = append(p.Body, &ir.Load{Dst: "v0", Base: victim.name, Off: 0, Size: 1})
+	case BugDoubleFree:
+		p.Body = append(p.Body, &ir.Free{Ptr: victim.name})
+	default:
+		return nil, false
+	}
+	g.Bugged = true
+	return p, true
 }
 
 func (g *Gen) prog(name string) *ir.Prog {
@@ -80,18 +181,28 @@ func (g *Gen) prog(name string) *ir.Prog {
 	g.nextID = 0
 	g.depth = 0
 	g.accesses = 0
+	g.freed = map[string]bool{}
 	body := []ir.Stmt{}
 	// A few root buffers so every block has targets.
 	for i := 0; i < 3+g.rng.Intn(3); i++ {
 		body = append(body, g.alloc())
 	}
 	body = append(body, g.block(4+g.rng.Intn(6))...)
+	// Guard against access-free programs: a program that never touches
+	// memory makes every differential fast-vs-reference comparison
+	// vacuously pass, so force at least one real access. (The probe and
+	// planting runs of Buggy share this shape because both go through
+	// prog, so access ordinals still line up.)
+	if g.accesses == 0 {
+		body = append(body, g.access(nil, 0))
+	}
 	// Free a random subset at the end (never mid-use: the generator does
 	// not emit accesses after a free of the same buffer because frees
 	// only happen here).
 	for _, b := range g.bufs {
 		if b.heap && g.rng.Intn(2) == 0 {
 			body = append(body, &ir.Free{Ptr: b.name})
+			g.freed[b.name] = true
 		}
 	}
 	return &ir.Prog{Name: name, Body: body}
@@ -101,7 +212,10 @@ func (g *Gen) prog(name string) *ir.Prog {
 func (g *Gen) alloc() ir.Stmt {
 	name := fmt.Sprintf("buf%d", g.nextID)
 	g.nextID++
-	size := int64(g.rng.Intn(4000) + 16)
+	size := int64(g.rng.Intn(4000) + minAllocSize)
+	if size < minAllocSize {
+		size = minAllocSize
+	}
 	g.bufs = append(g.bufs, buffer{name: name, size: size, heap: true})
 	return &ir.Malloc{Dst: name, Size: ir.Const(size)}
 }
@@ -191,13 +305,19 @@ func (g *Gen) access(loopVar *string, trip int64) ir.Stmt {
 	// Plant the bug here?
 	if g.bugAt == g.accesses {
 		g.Bugged = true
-		// Push past the end: offset = size + delta with the whole access
-		// inside the 16-byte redzone.
 		delta := int64(g.rng.Intn(8))
 		idx, scale = nil, 0
-		off = b.size + delta
-		if off+int64(w) > b.size+16 {
-			off = b.size
+		if g.underflow {
+			// Dip below the base: [off, off+w) sits wholly inside the
+			// 16-byte left redzone (off ≥ -15 for w ≤ 8, off+w ≤ 0).
+			off = -int64(w) - delta
+		} else {
+			// Push past the end: offset = size + delta with the whole
+			// access inside the 16-byte redzone.
+			off = b.size + delta
+			if off+int64(w) > b.size+16 {
+				off = b.size
+			}
 		}
 	}
 	g.accesses++

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"giantsan/internal/canary"
+)
+
+// waitForCanary polls the engine until cond holds or the deadline
+// passes, returning the last snapshot either way.
+func waitForCanary(t *testing.T, e *Engine, timeout time.Duration, cond func(canary.Counters) bool) canary.Counters {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		cs, ok := e.CanarySnapshot()
+		if !ok {
+			t.Fatal("canary not enabled")
+		}
+		if cond(cs) || time.Now().After(deadline) {
+			return cs
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCanaryRunsInSpareCapacity: an idle engine with the canary enabled
+// accumulates clean runs, reports them via /metrics, and shuts down
+// cleanly mid-campaign.
+func TestCanaryRunsInSpareCapacity(t *testing.T) {
+	e := New(Config{Workers: 2, CanaryEnabled: true, CanaryInterval: time.Millisecond})
+	defer e.Close()
+
+	cs := waitForCanary(t, e, 10*time.Second, func(cs canary.Counters) bool { return cs.Runs >= 5 })
+	if cs.Runs < 5 {
+		t.Fatalf("canary made %d runs in 10s", cs.Runs)
+	}
+	if cs.Discrepancies != 0 || cs.Failures != 0 {
+		t.Fatalf("honest fast path produced %+v", cs)
+	}
+
+	var sb strings.Builder
+	e.WriteMetrics(&sb)
+	for _, want := range []string{
+		"gsan_canary_runs_total", "gsan_canary_discrepancies_total 0",
+		"gsan_canary_skipped_total", "gsan_canary_min_repro_events 0",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestCanaryDetectsPlantedDivergence: with a planted fast-path mutation,
+// the canary must find a discrepancy, shrink it, and persist a repro
+// artifact pair into CanaryDir.
+func TestCanaryDetectsPlantedDivergence(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{
+		Workers: 2, CanaryEnabled: true, CanaryInterval: time.Millisecond,
+		CanaryPlant: "mask-width8", CanaryDir: dir,
+	})
+	defer e.Close()
+
+	// Wait on the artifact counter, the last thing a divergent run
+	// updates — the discrepancy counter increments at detection, before
+	// shrinking finishes.
+	cs := waitForCanary(t, e, 30*time.Second, func(cs canary.Counters) bool { return cs.ArtifactsWritten >= 1 })
+	if cs.ArtifactsWritten == 0 {
+		t.Fatalf("no artifact after %d runs (%d discrepancies)", cs.Runs, cs.Discrepancies)
+	}
+	if cs.Discrepancies == 0 || cs.MinReproEvents == 0 {
+		t.Fatalf("artifact without discrepancy bookkeeping: %+v", cs)
+	}
+	traces, _ := filepath.Glob(filepath.Join(dir, "repro-*.trace"))
+	metas, _ := filepath.Glob(filepath.Join(dir, "repro-*.json"))
+	if len(traces) == 0 || len(metas) == 0 {
+		ents, _ := os.ReadDir(dir)
+		t.Fatalf("artifact files missing in %s: %v", dir, ents)
+	}
+
+	var sb strings.Builder
+	e.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "gsan_canary_artifacts_written_total") {
+		t.Error("metrics missing artifact counter")
+	}
+}
+
+// TestCanaryDisabledByDefault: no canary goroutine, no metric families.
+func TestCanaryDisabledByDefault(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	if _, ok := e.CanarySnapshot(); ok {
+		t.Fatal("canary enabled without CanaryEnabled")
+	}
+	var sb strings.Builder
+	e.WriteMetrics(&sb)
+	if strings.Contains(sb.String(), "gsan_canary_") {
+		t.Error("canary metric families emitted while disabled")
+	}
+}
+
+// TestCanaryUnknownPlantPanics: New is documented to panic when handed a
+// plant name canary.PlantByName rejects.
+func TestCanaryUnknownPlantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown plant")
+		}
+	}()
+	e := New(Config{CanaryEnabled: true, CanaryPlant: "no-such-plant"})
+	e.Close()
+}

@@ -40,6 +40,17 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 	counter("gsan_arena_pool_dropped_total", "Arenas discarded instead of shelved (suspect state or over-capacity).", as.Dropped)
 	gauge("gsan_arena_pool_size", "Idle arenas currently shelved.", as.Size)
 
+	if cs, ok := e.CanarySnapshot(); ok {
+		counter("gsan_canary_runs_total", "Differential canary runs completed.", cs.Runs)
+		counter("gsan_canary_discrepancies_total", "Canary runs whose fast/reference/oracle legs diverged.", cs.Discrepancies)
+		counter("gsan_canary_shrink_steps_total", "Successful ddmin reduction steps across all shrinks.", cs.ShrinkSteps)
+		counter("gsan_canary_shrink_replays_total", "Triple replays spent on shrink candidates.", cs.ShrinkReplays)
+		counter("gsan_canary_artifacts_written_total", "Divergence repro artifacts persisted to the canary dir.", cs.ArtifactsWritten)
+		counter("gsan_canary_failures_total", "Canary runs that failed for infrastructure reasons.", cs.Failures)
+		counter("gsan_canary_skipped_total", "Canary attempts skipped for lack of spare capacity.", e.canarySkipped.Load())
+		gauge("gsan_canary_min_repro_events", "Event count of the most recent shrunk reproduction.", int(cs.MinReproEvents))
+	}
+
 	e.mu.Lock()
 	labels := make([]string, 0, len(e.perSan))
 	for l := range e.perSan {

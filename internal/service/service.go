@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/canary"
 	"giantsan/internal/instrument"
 	"giantsan/internal/interp"
 	"giantsan/internal/ir"
@@ -157,6 +158,31 @@ type Config struct {
 	// each session executes — an observability hook (and the lever the
 	// panic-isolation tests use).
 	OnSessionStart func(*Request)
+
+	// CanaryEnabled turns on the always-on differential validation
+	// canary: a background tenant that continuously generates mini
+	// programs, triple-replays their traces (fast path, reference path,
+	// byte-granular oracle) in spare worker capacity, and diffs
+	// everything the legs observe (see internal/canary). Discrepancies
+	// are ddmin-shrunk to a 1-minimal trace and surfaced via the
+	// gsan_canary_* metric families.
+	CanaryEnabled bool
+	// CanaryDir is where divergence artifacts (shrunk trace + JSON
+	// description) are persisted; empty keeps them in memory only.
+	CanaryDir string
+	// CanaryPlant injects a named fast-path mutation into the canary's
+	// fast leg (test/CI seam; see canary.PlantNames). Validate with
+	// canary.PlantByName before constructing the engine: New panics on
+	// an unknown name.
+	CanaryPlant string
+	// CanaryMaxQueue is the spare-capacity admission threshold: a canary
+	// run is only submitted while the session queue depth is at or below
+	// it, so the canary never competes with real tenants. 0 (the
+	// default) admits canary runs only when the queue is empty.
+	CanaryMaxQueue int
+	// CanaryInterval is the pacing between canary run attempts; <= 0
+	// means 25ms. At most one canary run is in flight at a time.
+	CanaryInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +203,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TierWindow <= 0 {
 		c.TierWindow = 32
+	}
+	if c.CanaryInterval <= 0 {
+		c.CanaryInterval = 25 * time.Millisecond
 	}
 	return c
 }
@@ -201,6 +230,15 @@ type Engine struct {
 	arenas *ArenaPool
 	m      counters
 	nextID atomic.Uint64
+
+	// Canary state, nil/zero when CanaryEnabled is false. The loop
+	// goroutine paces run attempts; skipped counts attempts that found
+	// no spare capacity (queue above CanaryMaxQueue or no slot).
+	canary        *canary.Canary
+	canarySkipped atomic.Uint64
+	canaryQuit    chan struct{}
+	canaryStop    sync.Once
+	canaryWG      sync.WaitGroup
 
 	// prepare is the session compiler, interp.Prepare in production. It is
 	// a field so tests can inject compilation failures and panics at the
@@ -237,16 +275,76 @@ func New(cfg Config) *Engine {
 		perTier:  make(map[string]uint64),
 		errKinds: make(map[string]uint64),
 	}
+	if cfg.CanaryEnabled {
+		c, err := canary.New(canary.Config{Dir: cfg.CanaryDir, Plant: cfg.CanaryPlant})
+		if err != nil {
+			// The only failure is an unknown plant name; callers validate
+			// with canary.PlantByName, so this is a programming error.
+			panic(err)
+		}
+		e.canary = c
+		e.canaryQuit = make(chan struct{})
+		e.canaryWG.Add(1)
+		go e.canaryLoop()
+	}
 	return e
 }
 
-// Close begins the graceful drain: no new sessions are admitted, queued
-// and running sessions finish, then Close returns. Safe to call twice.
+// canaryLoop paces canary runs into spare worker capacity: one attempt
+// per CanaryInterval, admitted only while the session queue is at or
+// below CanaryMaxQueue, at most one run in flight. Canary runs ride the
+// same worker pool as sessions but bypass every session counter and
+// aggregate — they are the service testing itself, not tenant work.
+func (e *Engine) canaryLoop() {
+	defer e.canaryWG.Done()
+	tick := time.NewTicker(e.cfg.CanaryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.canaryQuit:
+			return
+		case <-tick.C:
+		}
+		if e.pool.QueueDepth() > e.cfg.CanaryMaxQueue {
+			e.canarySkipped.Add(1)
+			continue
+		}
+		done := make(chan struct{})
+		if !e.pool.TrySubmit(func() { defer close(done); e.canary.RunNext() }) {
+			e.canarySkipped.Add(1)
+			continue
+		}
+		select {
+		case <-done:
+		case <-e.canaryQuit:
+			// Draining: the submitted run still executes before
+			// pool.Close returns; just stop pacing new ones.
+			return
+		}
+	}
+}
+
+// CanarySnapshot returns the canary's lifetime counters and whether the
+// canary is enabled.
+func (e *Engine) CanarySnapshot() (canary.Counters, bool) {
+	if e.canary == nil {
+		return canary.Counters{}, false
+	}
+	return e.canary.Snapshot(), true
+}
+
+// Close begins the graceful drain: no new sessions are admitted, the
+// canary loop stops pacing, queued and running work finishes, then Close
+// returns. Safe to call twice.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.draining = true
 	e.mu.Unlock()
+	if e.canaryQuit != nil {
+		e.canaryStop.Do(func() { close(e.canaryQuit) })
+	}
 	e.pool.Close()
+	e.canaryWG.Wait()
 }
 
 // sanConfigByLabel resolves a sanitizer label: every Table 2 column plus

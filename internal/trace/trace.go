@@ -14,6 +14,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -100,6 +101,28 @@ func (tw *Writer) emit(op Op, fields ...any) error {
 	return nil
 }
 
+// Emit serializes one already-decoded event. It is the re-encoding half
+// of the shrinker round trip: ReadAll a trace into events, drop some,
+// Emit the survivors. Registers are written as-is (Emit does not consult
+// NewReg), so the caller owns register coherence — a subsequence of a
+// valid trace keeps the original register numbers.
+func (tw *Writer) Emit(ev Event) error {
+	switch ev.Op {
+	case OpMalloc, OpAlloca:
+		return tw.emit(ev.Op, ev.Reg, ev.Size)
+	case OpFree:
+		return tw.emit(ev.Op, ev.Reg)
+	case OpAccess:
+		return tw.emit(ev.Op, ev.Reg, ev.Off, ev.Width, b2u(ev.Write))
+	case OpRange:
+		return tw.emit(ev.Op, ev.Reg, ev.Off, ev.Size, b2u(ev.Write))
+	case OpPush, OpPop:
+		return tw.emit(ev.Op)
+	default:
+		return fmt.Errorf("trace: cannot encode unknown opcode %d", ev.Op)
+	}
+}
+
 // Malloc records an allocation into a fresh register and returns it.
 func (tw *Writer) Malloc(size uint64) (uint32, error) {
 	reg := tw.NewReg()
@@ -149,10 +172,20 @@ func b2u(b bool) uint8 {
 // ErrBadMagic marks a stream that is not a trace.
 var ErrBadMagic = errors.New("trace: bad magic")
 
-// Reader decodes events.
+// Reader decodes events. It tracks the byte offset consumed so far and
+// the ordinal of the event being decoded, and stamps both into every
+// decode error — a truncated or corrupted stream names the exact spot,
+// which is what makes shrinker validity checks and service replay
+// rejections debuggable instead of opaque.
 type Reader struct {
 	r       *bufio.Reader
 	started bool
+	// off is the number of bytes fully consumed from the stream; idx the
+	// number of events fully decoded. During Next they locate the event
+	// currently being decoded: idx+1 is its 1-based ordinal (matching
+	// Replay's "event %d" convention), off its starting byte.
+	off int64
+	idx int
 }
 
 // NewReader returns a Reader over r.
@@ -160,31 +193,85 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
+// Offset returns the number of bytes consumed so far.
+func (tr *Reader) Offset() int64 { return tr.off }
+
+// readFull fills buf, charging the consumed bytes to the offset.
+func (tr *Reader) readFull(buf []byte) error {
+	n, err := io.ReadFull(tr.r, buf)
+	tr.off += int64(n)
+	return err
+}
+
+// decodeErr annotates a mid-event failure with the event's 1-based
+// ordinal and the byte offset where the event started.
+func (tr *Reader) decodeErr(start int64, format string, args ...any) error {
+	prefix := fmt.Sprintf("trace: event %d (byte offset %d): ", tr.idx+1, start)
+	return fmt.Errorf(prefix+format, args...)
+}
+
 // Next decodes one event; io.EOF ends the stream.
 func (tr *Reader) Next() (Event, error) {
 	if !tr.started {
 		var m [4]byte
-		if _, err := io.ReadFull(tr.r, m[:]); err != nil {
+		if err := tr.readFull(m[:]); err != nil {
+			if err == io.ErrUnexpectedEOF || (err == io.EOF && tr.off > 0) {
+				return Event{}, fmt.Errorf("trace: truncated magic (%d of %d header bytes): %w",
+					tr.off, len(magic), io.ErrUnexpectedEOF)
+			}
 			return Event{}, err
 		}
 		if m != magic {
-			return Event{}, ErrBadMagic
+			return Event{}, fmt.Errorf("trace: header %q at byte offset 0: %w", m[:], ErrBadMagic)
 		}
 		tr.started = true
 	}
-	opb, err := tr.r.ReadByte()
-	if err != nil {
-		return Event{}, err
+	start := tr.off
+	var opbuf [1]byte
+	if err := tr.readFull(opbuf[:]); err != nil {
+		return Event{}, err // io.EOF here is the clean end of stream
 	}
+	opb := opbuf[0]
 	ev := Event{Op: Op(opb)}
 	read := func(fields ...any) error {
 		for _, f := range fields {
-			if err := binary.Read(tr.r, binary.LittleEndian, f); err != nil {
-				return err
+			var buf []byte
+			switch v := f.(type) {
+			case *uint8:
+				var b [1]byte
+				if err := tr.readFull(b[:]); err != nil {
+					return err
+				}
+				*v = b[0]
+				continue
+			case *uint32:
+				buf = make([]byte, 4)
+				if err := tr.readFull(buf); err != nil {
+					return err
+				}
+				*v = binary.LittleEndian.Uint32(buf)
+				continue
+			case *uint64:
+				buf = make([]byte, 8)
+				if err := tr.readFull(buf); err != nil {
+					return err
+				}
+				*v = binary.LittleEndian.Uint64(buf)
+				continue
+			case *int64:
+				buf = make([]byte, 8)
+				if err := tr.readFull(buf); err != nil {
+					return err
+				}
+				*v = int64(binary.LittleEndian.Uint64(buf))
+				continue
+			default:
+				return fmt.Errorf("unsupported operand type %T", f)
 			}
 		}
 		return nil
 	}
+	var err error
 	var w uint8
 	switch ev.Op {
 	case OpMalloc, OpAlloca:
@@ -199,21 +286,135 @@ func (tr *Reader) Next() (Event, error) {
 		ev.Write = w == 1
 	case OpPush, OpPop:
 	default:
-		return Event{}, fmt.Errorf("trace: unknown opcode %d", opb)
+		return Event{}, tr.decodeErr(start, "unknown opcode %d", opb)
 	}
 	if err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Event{}, tr.decodeErr(start, "opcode %d truncated after %d bytes: %w",
+				opb, tr.off-start, io.ErrUnexpectedEOF)
 		}
-		return Event{}, err
+		return Event{}, tr.decodeErr(start, "opcode %d: %w", opb, err)
 	}
+	tr.idx++
 	return ev, nil
+}
+
+// ReadAll decodes a whole trace stream into its event list.
+func ReadAll(r io.Reader) ([]Event, error) {
+	tr := NewReader(r)
+	var out []Event
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// Encode serializes an event list into the trace wire format (magic
+// header included) — the inverse of ReadAll.
+func Encode(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	for _, ev := range events {
+		if err := tw.Emit(ev); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // ReplayResult summarizes one replay.
 type ReplayResult struct {
 	Events int
 	Errors report.Log
+}
+
+// replayer applies decoded events to a runtime, tracking the register
+// file and frame depth.
+type replayer struct {
+	run      rt.Runtime
+	anchored bool
+	regs     map[uint32]vmem.Addr
+	frames   int
+	res      *ReplayResult
+}
+
+func newReplayer(run rt.Runtime, anchored bool) *replayer {
+	return &replayer{run: run, anchored: anchored, regs: map[uint32]vmem.Addr{}, res: &ReplayResult{}}
+}
+
+// apply executes one event. Trace-level problems (unknown register,
+// failed malloc, unbalanced frames) are returned as errors; memory
+// violations land in the result log.
+func (rp *replayer) apply(ev Event) error {
+	rp.res.Events++
+	switch ev.Op {
+	case OpMalloc:
+		p, err := rp.run.Malloc(ev.Size)
+		if err != nil {
+			return fmt.Errorf("trace: event %d: %w", rp.res.Events, err)
+		}
+		rp.regs[ev.Reg] = p
+	case OpAlloca:
+		if rp.frames == 0 {
+			return fmt.Errorf("trace: event %d: alloca outside frame", rp.res.Events)
+		}
+		rp.regs[ev.Reg] = rp.run.Alloca(ev.Size)
+	case OpFree:
+		p, ok := rp.regs[ev.Reg]
+		if !ok {
+			return fmt.Errorf("trace: event %d: free of unset reg %d", rp.res.Events, ev.Reg)
+		}
+		rp.res.Errors.Record(rp.run.Free(p))
+	case OpAccess:
+		base, ok := rp.regs[ev.Reg]
+		if !ok {
+			return fmt.Errorf("trace: event %d: access through unset reg %d", rp.res.Events, ev.Reg)
+		}
+		at := report.Read
+		if ev.Write {
+			at = report.Write
+		}
+		p := base + vmem.Addr(ev.Off)
+		var cerr *report.Error
+		if rp.anchored {
+			cerr = rp.run.San().CheckAnchored(base, p, uint64(ev.Width), at)
+		} else {
+			cerr = rp.run.San().CheckAccess(p, uint64(ev.Width), at)
+		}
+		rp.res.Errors.Record(cerr)
+	case OpRange:
+		base, ok := rp.regs[ev.Reg]
+		if !ok {
+			return fmt.Errorf("trace: event %d: range through unset reg %d", rp.res.Events, ev.Reg)
+		}
+		at := report.Read
+		if ev.Write {
+			at = report.Write
+		}
+		l := base + vmem.Addr(ev.Off)
+		rp.res.Errors.Record(rp.run.San().CheckRange(l, l+vmem.Addr(ev.Size), at))
+	case OpPush:
+		rp.run.PushFrame()
+		rp.frames++
+	case OpPop:
+		if rp.frames == 0 {
+			return fmt.Errorf("trace: event %d: pop without push", rp.res.Events)
+		}
+		rp.run.PopFrame()
+		rp.frames--
+	default:
+		return fmt.Errorf("trace: event %d: unknown opcode %d", rp.res.Events, ev.Op)
+	}
+	return nil
 }
 
 // Replay runs a trace against a runtime: allocations fill the register
@@ -223,9 +424,7 @@ type ReplayResult struct {
 // violations land in the result log.
 func Replay(r io.Reader, run rt.Runtime, anchored bool) (*ReplayResult, error) {
 	tr := NewReader(r)
-	regs := map[uint32]vmem.Addr{}
-	res := &ReplayResult{}
-	frames := 0
+	rp := newReplayer(run, anchored)
 	for {
 		ev, err := tr.Next()
 		if err == io.EOF {
@@ -234,63 +433,23 @@ func Replay(r io.Reader, run rt.Runtime, anchored bool) (*ReplayResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Events++
-		switch ev.Op {
-		case OpMalloc:
-			p, err := run.Malloc(ev.Size)
-			if err != nil {
-				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
-			}
-			regs[ev.Reg] = p
-		case OpAlloca:
-			if frames == 0 {
-				return nil, fmt.Errorf("trace: event %d: alloca outside frame", res.Events)
-			}
-			regs[ev.Reg] = run.Alloca(ev.Size)
-		case OpFree:
-			p, ok := regs[ev.Reg]
-			if !ok {
-				return nil, fmt.Errorf("trace: event %d: free of unset reg %d", res.Events, ev.Reg)
-			}
-			res.Errors.Record(run.Free(p))
-		case OpAccess:
-			base, ok := regs[ev.Reg]
-			if !ok {
-				return nil, fmt.Errorf("trace: event %d: access through unset reg %d", res.Events, ev.Reg)
-			}
-			at := report.Read
-			if ev.Write {
-				at = report.Write
-			}
-			p := base + vmem.Addr(ev.Off)
-			var cerr *report.Error
-			if anchored {
-				cerr = run.San().CheckAnchored(base, p, uint64(ev.Width), at)
-			} else {
-				cerr = run.San().CheckAccess(p, uint64(ev.Width), at)
-			}
-			res.Errors.Record(cerr)
-		case OpRange:
-			base, ok := regs[ev.Reg]
-			if !ok {
-				return nil, fmt.Errorf("trace: event %d: range through unset reg %d", res.Events, ev.Reg)
-			}
-			at := report.Read
-			if ev.Write {
-				at = report.Write
-			}
-			l := base + vmem.Addr(ev.Off)
-			res.Errors.Record(run.San().CheckRange(l, l+vmem.Addr(ev.Size), at))
-		case OpPush:
-			run.PushFrame()
-			frames++
-		case OpPop:
-			if frames == 0 {
-				return nil, fmt.Errorf("trace: event %d: pop without push", res.Events)
-			}
-			run.PopFrame()
-			frames--
+		if err := rp.apply(ev); err != nil {
+			return nil, err
 		}
 	}
-	return res, nil
+	return rp.res, nil
+}
+
+// ReplayEvents replays an already-decoded event list. It is the
+// shrinker's inner loop: candidate subsequences are replayed directly,
+// without a serialize/parse round trip per candidate. Semantics are
+// identical to Replay over the encoding of the same events.
+func ReplayEvents(events []Event, run rt.Runtime, anchored bool) (*ReplayResult, error) {
+	rp := newReplayer(run, anchored)
+	for _, ev := range events {
+		if err := rp.apply(ev); err != nil {
+			return nil, err
+		}
+	}
+	return rp.res, nil
 }
