@@ -10,6 +10,7 @@
 //	giantbench -exp hotpath [-hotpath-out BENCH_hotpath.json]
 //	giantbench -exp metapath [-metapath-out BENCH_metapath.json]
 //	giantbench -exp tiers [-tiers-out BENCH_tiers.json] [-tiers-check]
+//	giantbench -exp shards [-shards-out BENCH_shards.json] [-shards-check]
 //	giantbench -exp canary [-canary-programs N] [-canary-plant NAME]
 //	giantbench -exp all
 //
@@ -32,6 +33,16 @@
 // BENCH_tiers.json — the cost/coverage curve behind load-driven tier
 // downgrade. -tiers-check fails the run unless cost is strictly monotone
 // down the ladder and detection never increases (the CI gate).
+//
+// -exp shards measures the service's horizontal scale-out: a tenant
+// batch routed through real consistent-hash ShardSets at increasing
+// shard counts, billed on the virtual clock (makespan = the slowest
+// shard's summed bill), plus the forked-arena residency table (resident
+// shadow bytes vs pages dirtied), written to BENCH_shards.json. The run
+// itself fails if any session's outcome differs between shard counts —
+// the sharding determinism contract. -shards-check additionally fails
+// the run unless the highest shard count reaches -shards-min speedup
+// and residency is exactly proportional to dirtied pages (the CI gate).
 //
 // -exp canary runs the differential validation campaign (the offline
 // twin of the service's always-on canary): N generator-wheel programs,
@@ -71,11 +82,12 @@ import (
 	"giantsan/internal/bench"
 	"giantsan/internal/bench/hotpath"
 	"giantsan/internal/bench/metapath"
+	"giantsan/internal/bench/shards"
 	"giantsan/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, canary, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, shards, canary, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
@@ -88,6 +100,10 @@ func main() {
 	tiersOut := flag.String("tiers-out", "BENCH_tiers.json", "output path for the tiers report")
 	tiersSeeds := flag.Int("tiers-seeds", 0, "planted-bug corpus seeds for the tiers suite; 0 = default")
 	tiersCheck := flag.Bool("tiers-check", false, "fail unless tier cost is strictly monotone down the ladder and detection never increases")
+	shardsOut := flag.String("shards-out", "BENCH_shards.json", "output path for the shards report")
+	shardsTenants := flag.Int("shards-tenants", 0, "tenant population for the shards scaling batch; 0 = default")
+	shardsCheck := flag.Bool("shards-check", false, "fail unless the highest shard count reaches -shards-min speedup and forked-arena residency is proportional to dirtied pages")
+	shardsMin := flag.Float64("shards-min", 3.0, "minimum virtual-clock speedup -shards-check demands of the highest shard count")
 	canaryPrograms := flag.Int("canary-programs", 200, "generated programs for the canary campaign")
 	canaryPlant := flag.String("canary-plant", "", "inject a named fast-path mutation into the canary campaign")
 	canaryOut := flag.String("canary-out", "", "optional output path for the canary campaign JSON report")
@@ -279,6 +295,38 @@ func main() {
 		}
 		if *tiersCheck {
 			return bench.CheckMonotone(rep)
+		}
+		return nil
+	})
+	run("shards", func() error {
+		rep, err := shards.Run([]int{1, 2, 4}, *shardsTenants)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*shardsOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("Service scale-out — virtual-clock makespan per shard count, forked-arena shadow residency")
+			fmt.Println(shards.Render(rep))
+			fmt.Printf("(written to %s)\n", *shardsOut)
+		}
+		if *shardsCheck {
+			return shards.Check(rep, *shardsMin)
 		}
 		return nil
 	})

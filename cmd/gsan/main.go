@@ -10,8 +10,8 @@
 //	gsan -workload 505.mcf_r -tier sampled
 //	gsan -workload 505.mcf_r -record run.trace
 //	gsan -replay run.trace -san asan
-//	gsan -serve :8080 [-serve-workers N] [-serve-queue N] [-max-heap-bytes N]
-//	     [-tier-budget-ns N] [-tier-window N] [-serve-canary]
+//	gsan -serve :8080 [-serve-shards N] [-serve-workers N] [-serve-queue N]
+//	     [-max-heap-bytes N] [-tier-budget-ns N] [-tier-window N] [-serve-canary]
 //	gsan -canary 200 [-canary-dir DIR] [-canary-plant NAME]
 //	gsan -list
 //
@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	record := fs.String("record", "", "record the run to a trace file")
 	replay := fs.String("replay", "", "replay a trace file instead of running a workload")
 	serve := fs.String("serve", "", "serve the sanitization service on this address (e.g. :8080)")
+	serveShards := fs.Int("serve-shards", 1, "serve mode: independent engine shards; sessions route by consistent hash of tenant (worker/queue totals divide across shards)")
 	serveWorkers := fs.Int("serve-workers", 0, "serve mode: concurrent session executors (0 = GOMAXPROCS)")
 	serveQueue := fs.Int("serve-queue", 0, "serve mode: admission queue depth (0 = 64)")
 	maxHeapBytes := fs.Uint64("max-heap-bytes", 0, "serve mode: cap on a session's scaled heap (0 = 4 GiB)")
@@ -126,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case *serve != "":
-		return serveHTTP(*serve, service.Config{
+		return serveHTTP(*serve, *serveShards, service.Config{
 			Workers:        *serveWorkers,
 			QueueDepth:     *serveQueue,
 			MaxHeapBytes:   *maxHeapBytes,
@@ -202,10 +203,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // serveHTTP runs the sanitization service until SIGINT/SIGTERM, then
 // drains: stop admitting, finish in-flight sessions, shut the listener
-// down cleanly.
-func serveHTTP(addr string, cfg service.Config, stdout, stderr io.Writer) int {
-	eng := service.New(cfg)
-	srv := &http.Server{Addr: addr, Handler: service.NewServer(eng)}
+// down cleanly. shards > 1 runs a consistent-hash sharded deployment
+// behind the same HTTP surface; the cfg capacity knobs are totals that
+// divide across shards.
+func serveHTTP(addr string, shards int, cfg service.Config, stdout, stderr io.Writer) int {
+	var handler *service.Server
+	if shards > 1 {
+		handler = service.NewShardedServer(service.NewShardSet(shards, cfg))
+		fmt.Fprintf(stdout, "gsan: %d shards, sessions route by tenant\n", shards)
+	} else {
+		handler = service.NewServer(service.New(cfg))
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -219,11 +228,11 @@ func serveHTTP(addr string, cfg service.Config, stdout, stderr io.Writer) int {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
-		eng.Close()
+		handler.Close()
 		return 0
 	case err := <-errc:
 		fmt.Fprintln(stderr, "gsan:", err)
-		eng.Close()
+		handler.Close()
 		return 1
 	}
 }

@@ -60,6 +60,27 @@ func newNamed(sp *vmem.Space, name string) *Sanitizer {
 	return s
 }
 
+// BaseImage returns the pristine shadow image of an ASan instance over sp —
+// the exact state newNamed lays down, captured once for sharing. Uniform,
+// so the snapshot costs one overlay page regardless of the space size.
+func BaseImage(sp *vmem.Space) *shadow.Image {
+	return shadow.NewUniformImage(sp.Base(), int(sp.Size()>>shadow.SegShift), CodeUnallocated)
+}
+
+// Fork returns an ASan instance whose shadow is a copy-on-write fork of img
+// (from BaseImage over an identically-shaped space). Observably identical
+// to New, but construction writes no shadow bytes and resident shadow grows
+// only with the pages the workload dirties. Forked instances inherit the
+// single-goroutine contract of shadow.Fork.
+func Fork(img *shadow.Image) *Sanitizer {
+	return &Sanitizer{sh: shadow.Fork(img), name: "asan"}
+}
+
+// ForkMinus is Fork under the "asan--" label, mirroring NewMinus.
+func ForkMinus(img *shadow.Image) *Sanitizer {
+	return &Sanitizer{sh: shadow.Fork(img), name: "asan--"}
+}
+
 // Name implements san.Sanitizer.
 func (a *Sanitizer) Name() string { return a.name }
 
@@ -73,6 +94,11 @@ func (a *Sanitizer) ResetSpan(base vmem.Addr, size uint64) {
 
 // ResetStats implements san.Resetter.
 func (a *Sanitizer) ResetStats() { a.stats.Reset() }
+
+// DropOverlay implements san.OverlayDropper: on a forked instance the whole
+// shadow snaps back to the pristine base image in O(dirty pages); dense
+// instances report false and the caller falls back to ResetSpan.
+func (a *Sanitizer) DropOverlay() bool { return a.sh.DropOverlay() }
 
 // Stats implements san.Sanitizer.
 func (a *Sanitizer) Stats() *san.Stats { return &a.stats }
@@ -292,23 +318,23 @@ func (a *Sanitizer) CheckAccess(p vmem.Addr, w uint64, t report.AccessType) *rep
 	if w == 0 {
 		return nil
 	}
-	base := a.sh.Base()
-	units := a.sh.Raw()
+	sh := a.sh
+	base := sh.Base()
 	last := (p + vmem.Addr(w) - 1 - base) >> shadow.SegShift
-	if p < base || last >= vmem.Addr(len(units)) {
+	if p < base || last >= vmem.Addr(sh.NumSegments()) {
 		return a.nullOrWild(p, w, t)
 	}
 	first := 8 - (p & 7)
 	if vmem.Addr(w) <= first {
 		a.stats.ShadowLoads++
-		v := units[(p-base)>>shadow.SegShift]
+		v := sh.CodeAt(int((p - base) >> shadow.SegShift))
 		if v == CodeGood {
 			return nil
 		}
 		return a.checkSegCode(v, p, w, t)
 	}
 	a.stats.ShadowLoads++
-	if err := a.checkSegCode(units[(p-base)>>shadow.SegShift], p, uint64(first), t); err != nil {
+	if err := a.checkSegCode(sh.CodeAt(int((p-base)>>shadow.SegShift)), p, uint64(first), t); err != nil {
 		return err
 	}
 	return a.checkRangeAlignedFast(p+first, p+vmem.Addr(w), t)
@@ -357,16 +383,16 @@ func (a *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 	if l >= r {
 		return nil
 	}
-	base := a.sh.Base()
-	units := a.sh.Raw()
-	if l < base || (r-1-base)>>shadow.SegShift >= vmem.Addr(len(units)) {
+	sh := a.sh
+	base := sh.Base()
+	if l < base || (r-1-base)>>shadow.SegShift >= vmem.Addr(sh.NumSegments()) {
 		return a.nullOrWild(l, r-l, t)
 	}
 	// Unaligned head.
 	if off := l & 7; off != 0 {
 		headEnd := min(r, l+(8-off))
 		a.stats.ShadowLoads++
-		if err := a.checkSegCode(units[(l-base)>>shadow.SegShift], l, uint64(headEnd-l), t); err != nil {
+		if err := a.checkSegCode(sh.CodeAt(int((l-base)>>shadow.SegShift)), l, uint64(headEnd-l), t); err != nil {
 			return err
 		}
 		l = headEnd
@@ -391,12 +417,12 @@ func (a *Sanitizer) checkRangeAligned(l, r vmem.Addr, t report.AccessType) *repo
 // checkRangeAlignedFast scans [l, r) with l segment-aligned, 8 segments per
 // wide load. Bounds were established by the caller.
 func (a *Sanitizer) checkRangeAlignedFast(l, r vmem.Addr, t report.AccessType) *report.Error {
-	base := a.sh.Base()
-	units := a.sh.Raw()
+	sh := a.sh
+	base := sh.Base()
 	p := l
 	for r-p >= 8*shadow.SegSize {
 		seg := int((p - base) >> shadow.SegShift)
-		if a.sh.LoadWide(seg) == 0 {
+		if sh.LoadWide(seg) == 0 {
 			// 8 fully good segments; bill the 8 conceptual loads the
 			// reference path would have made.
 			a.stats.ShadowLoads += shadow.WideSegs
@@ -408,7 +434,7 @@ func (a *Sanitizer) checkRangeAlignedFast(l, r vmem.Addr, t report.AccessType) *
 		// the load count match it exactly.
 		for q := p; q < p+8*shadow.SegSize; q += 8 {
 			a.stats.ShadowLoads++
-			v := units[(q-base)>>shadow.SegShift]
+			v := sh.CodeAt(int((q - base) >> shadow.SegShift))
 			if v == CodeGood {
 				continue
 			}
@@ -419,7 +445,7 @@ func (a *Sanitizer) checkRangeAlignedFast(l, r vmem.Addr, t report.AccessType) *
 	for ; p < r; p += 8 {
 		n := min(vmem.Addr(8), r-p)
 		a.stats.ShadowLoads++
-		if err := a.checkSegCode(units[(p-base)>>shadow.SegShift], p, uint64(n), t); err != nil {
+		if err := a.checkSegCode(sh.CodeAt(int((p-base)>>shadow.SegShift)), p, uint64(n), t); err != nil {
 			return err
 		}
 	}

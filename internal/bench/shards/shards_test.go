@@ -1,0 +1,53 @@
+package shards
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunInvariants exercises a reduced scaling batch end to end and
+// holds it to the same invariants the CI gate checks: work conservation
+// across shard counts, monotone makespan, residency proportional to
+// dirtied pages, overlay gone after Reset.
+func TestRunInvariants(t *testing.T) {
+	rep, err := Run([]int{1, 2}, 24)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := Check(rep, 1.2); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	one, two := rep.Scaling[0], rep.Scaling[1]
+	if one.MakespanNs != one.TotalVirtualNs {
+		t.Fatalf("1-shard makespan %d != total %d", one.MakespanNs, one.TotalVirtualNs)
+	}
+	if two.MakespanNs >= one.MakespanNs {
+		t.Fatalf("2-shard makespan %d not below 1-shard %d", two.MakespanNs, one.MakespanNs)
+	}
+	placed := 0
+	for _, n := range two.SessionsPerShard {
+		placed += n
+	}
+	if placed != 24 {
+		t.Fatalf("placement histogram sums to %d, want 24", placed)
+	}
+}
+
+// TestRunIsDeterministic pins the artifact contract: two runs of the
+// same batch serialize byte-identically (the suite is entirely on the
+// virtual clock).
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := Run([]int{1, 2}, 12)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run([]int{1, 2}, 12)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("reports differ across identical runs:\n%s\n%s", ja, jb)
+	}
+}

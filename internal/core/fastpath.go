@@ -41,12 +41,15 @@ var segLimitTab = func() [9]uint8 {
 // CheckRange is the specialized CI(L, R) hot path: semantically identical
 // to CheckRangeRef (Algorithm 1 with the unaligned-head fix-up) but written
 // for speed — bounds are established once with a single comparison pair,
-// shadow bytes come from the raw code array without per-load revalidation,
-// and every code classification is one table lookup plus one unsigned
-// comparison instead of a branch chain. The common aligned in-bounds access
-// runs load → table → compare with no data-dependent branching before the
-// verdict. Stats counting is identical to the reference path byte for byte;
-// the differential suites enforce that.
+// shadow bytes come through the inlinable CodeAt primitive without per-load
+// revalidation, and every code classification is one table lookup plus one
+// unsigned comparison instead of a branch chain. CodeAt serves both shadow
+// layouts — the flat array of dense memories and the page table of
+// image-forked arenas — for the cost of one well-predicted branch per load.
+// The common aligned in-bounds access runs load → table → compare with no
+// data-dependent branching before the verdict. Stats counting is identical
+// to the reference path byte for byte; the differential suites enforce
+// that.
 func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Error {
 	if g.ref {
 		return g.CheckRangeRef(l, r, t)
@@ -56,13 +59,13 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 	if l >= r {
 		return nil
 	}
-	base := g.sh.Base()
-	units := g.sh.Raw()
+	sh := g.sh
+	base := sh.Base()
 	ri := (r - 1 - base) >> shadow.SegShift
 	// One pair of comparisons replaces both Contains probes: l ≥ base
 	// bounds the range below, and the last touched segment bounds it above
 	// (l's segment index cannot exceed r−1's).
-	if l < base || ri >= vmem.Addr(len(units)) {
+	if l < base || ri >= vmem.Addr(sh.NumSegments()) {
 		return g.nullOrWild(l, r-l, t)
 	}
 	// Head fix-up for unaligned L: the head passes iff its code is at most
@@ -72,7 +75,7 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 		segEnd := (l &^ 7) + 8
 		headEnd := min(r, segEnd)
 		g.stats.ShadowLoads++
-		if v := units[(l-base)>>shadow.SegShift]; v > segLimitTab[headEnd&7] {
+		if v := sh.CodeAt(int((l - base) >> shadow.SegShift)); v > segLimitTab[headEnd&7] {
 			return g.fault(l, headEnd, t)
 		}
 		l = segEnd
@@ -83,7 +86,7 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 
 	// Fast check (Algorithm 1, lines 1–3): one load, one table lookup.
 	g.stats.ShadowLoads++
-	v := units[(l-base)>>shadow.SegShift]
+	v := sh.CodeAt(int((l - base) >> shadow.SegShift))
 	u := summaryTab[v]
 	length := r - l
 	if u >= length {
@@ -98,7 +101,7 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 			return g.fault(l, r, t)
 		}
 		g.stats.ShadowLoads++
-		if units[(r-u-base)>>shadow.SegShift] != v {
+		if sh.CodeAt(int((r-u-base)>>shadow.SegShift)) != v {
 			return g.fault(l, r, t)
 		}
 	}
@@ -106,7 +109,7 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 	// threshold expression (at r ≡ 0 mod 8 it admits any non-error code,
 	// trusting the suffix-fold equality that was just verified).
 	g.stats.ShadowLoads++
-	if units[ri] > CodePartialBase-uint8(r&7) {
+	if sh.CodeAt(int(ri)) > CodePartialBase-uint8(r&7) {
 		return g.fault(l, r, t)
 	}
 	return nil

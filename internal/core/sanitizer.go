@@ -31,6 +31,24 @@ func New(sp *vmem.Space) *Sanitizer {
 	return s
 }
 
+// BaseImage returns the pristine shadow image of a GiantSan instance over
+// sp — the exact state New lays down, captured once for sharing. Uniform
+// (everything CodeUnallocated), so the snapshot costs one overlay page
+// regardless of the space size.
+func BaseImage(sp *vmem.Space) *shadow.Image {
+	return shadow.NewUniformImage(sp.Base(), int(sp.Size()>>shadow.SegShift), CodeUnallocated)
+}
+
+// Fork returns a GiantSan instance whose shadow is a copy-on-write fork of
+// img (which must come from BaseImage over an identically-shaped space).
+// Observably identical to New — the reset differential suite proves it —
+// but construction writes no shadow bytes, and resident shadow grows only
+// with the pages the workload dirties. Forked instances inherit the
+// single-goroutine contract of shadow.Fork.
+func Fork(img *shadow.Image) *Sanitizer {
+	return &Sanitizer{sh: shadow.Fork(img)}
+}
+
 // Name implements san.Sanitizer.
 func (g *Sanitizer) Name() string { return "giantsan" }
 
@@ -45,6 +63,11 @@ func (g *Sanitizer) ResetSpan(base vmem.Addr, size uint64) {
 
 // ResetStats implements san.Resetter.
 func (g *Sanitizer) ResetStats() { g.stats.Reset() }
+
+// DropOverlay implements san.OverlayDropper: on a forked instance the whole
+// shadow snaps back to the pristine base image in O(dirty pages); dense
+// instances report false and the caller falls back to ResetSpan.
+func (g *Sanitizer) DropOverlay() bool { return g.sh.DropOverlay() }
 
 // Stats implements san.Sanitizer.
 func (g *Sanitizer) Stats() *san.Stats { return &g.stats }

@@ -171,6 +171,103 @@ func TestResetMatchesFresh(t *testing.T) {
 	}
 }
 
+// requireEnvEqual asserts two Envs are structurally identical: same shadow
+// bytes, same application bytes, zero-diff stats.
+func requireEnvEqual(t *testing.T, want, got *Env, context string) {
+	t.Helper()
+	ws, gs := envShadow(t, want), envShadow(t, got)
+	if !bytes.Equal(ws.Snapshot(0, ws.NumSegments()), gs.Snapshot(0, gs.NumSegments())) {
+		t.Fatalf("%s: shadow bytes differ", context)
+	}
+	wb := want.Space().Bytes(want.Space().Base(), want.Space().Size())
+	gb := got.Space().Bytes(got.Space().Base(), got.Space().Size())
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("%s: application bytes differ", context)
+	}
+}
+
+// TestForkMatchesFresh extends the pooling-safety contract to image-forked
+// arenas: for every pooled configuration, a Fork(cfg) must be observably
+// identical to New(cfg) — pristine, after the same workload, and after
+// Reset (which on forks is an overlay drop, not a span scrub). This is the
+// differential proof that the copy-on-write shadow is indistinguishable
+// from the dense one.
+func TestForkMatchesFresh(t *testing.T) {
+	for _, cfg := range resetConfigs() {
+		cfg := cfg
+		name := fmt.Sprintf("%s/ref=%v/uar=%v", cfg.Kind, cfg.Reference, cfg.DetectUAR)
+		t.Run(name, func(t *testing.T) {
+			dense := New(cfg)
+			fork := Fork(cfg)
+			if !fork.Forked() || dense.Forked() {
+				t.Fatal("Forked() misclassifies the construction mode")
+			}
+			requireEnvEqual(t, dense, fork, "pristine fork vs fresh")
+			if pages, b := fork.OverlayStats(); pages != 0 || b != 0 {
+				t.Fatalf("pristine fork resident: %d pages, %d bytes", pages, b)
+			}
+
+			// The identical workload must produce the identical outcome
+			// digest and leave identical shadows.
+			want := dirty(t, dense)
+			got := dirty(t, fork)
+			if want != got {
+				t.Fatalf("fork diverges from fresh env:\nfresh: %s\nfork:  %s", want, got)
+			}
+			requireEnvEqual(t, dense, fork, "after identical workloads")
+			pages, b := fork.OverlayStats()
+			if pages == 0 || b != pages*shadow.PageBytes {
+				t.Fatalf("overlay stats after workload: %d pages, %d bytes", pages, b)
+			}
+			// Residency is proportional to what was dirtied, not to the
+			// arena: the workload touches a few dozen KiB of a 256 KiB heap.
+			if total := int(cfg.Normalize().spaceBytes() >> shadow.SegShift); b >= total {
+				t.Fatalf("overlay resident %d bytes >= full dense shadow %d", b, total)
+			}
+
+			// Reset = overlay drop: byte-identical to a never-used fork and
+			// to a fresh dense env, with zero residual residency.
+			fork.Reset()
+			requireEnvEqual(t, New(cfg), fork, "after reset")
+			if pages, b := fork.OverlayStats(); pages != 0 || b != 0 {
+				t.Fatalf("post-reset fork resident: %d pages, %d bytes", pages, b)
+			}
+			if got := *fork.San().Stats(); got != (san.Stats{}) {
+				t.Fatalf("post-reset stats not zeroed: %+v", got)
+			}
+
+			// Oracle ground truth cleared, as in the dense suite.
+			base, size := fork.Space().Base(), fork.Space().Size()
+			for off := uint64(0); off < size; off += 1 + off/97 {
+				if st := fork.Oracle().StateAt(base + off); st != oracle.Unallocated {
+					t.Fatalf("oracle state at +%d = %v after reset", off, st)
+				}
+			}
+
+			// And the recycled fork still behaves exactly like fresh.
+			if again := dirty(t, fork); again != want {
+				t.Fatalf("recycled fork diverges:\nfresh: %s\nfork:  %s", want, again)
+			}
+		})
+	}
+}
+
+// TestForkSiblingsAreIsolated pins the sharing boundary: two forks of the
+// same base image must not observe each other's writes, and the registry
+// serves one image per normalized config.
+func TestForkSiblingsAreIsolated(t *testing.T) {
+	cfg := Config{Kind: GiantSan, HeapBytes: 256 << 10, StackBytes: 64 << 10, WithOracle: true}
+	a, b := Fork(cfg), Fork(cfg)
+	dirty(t, a)
+	requireEnvEqual(t, New(cfg), b, "sibling after a's workload")
+	if pages, bb := b.OverlayStats(); pages != 0 || bb != 0 {
+		t.Fatalf("sibling gained residency: %d pages, %d bytes", pages, bb)
+	}
+	if n := ImageRegistrySize(); n < 1 {
+		t.Fatalf("registry size %d after forks", n)
+	}
+}
+
 // TestResetIdempotent guards the pool's double-recycle path: resetting an
 // already-clean env must keep it byte-for-byte fresh.
 func TestResetIdempotent(t *testing.T) {

@@ -120,11 +120,7 @@ func (cfg Config) Normalize() Config {
 // New builds a runtime per cfg.
 func New(cfg Config) *Env {
 	cfg = cfg.Normalize()
-	sp := vmem.NewSpace(cfg.HeapBytes + cfg.StackBytes + cfg.GlobalBytes)
-	var o *oracle.Oracle
-	if cfg.WithOracle {
-		o = oracle.New(sp)
-	}
+	sp := vmem.NewSpace(cfg.spaceBytes())
 	var s san.Sanitizer
 	switch cfg.Kind {
 	case ASan:
@@ -133,6 +129,22 @@ func New(cfg Config) *Env {
 		s = asan.NewMinus(sp)
 	default:
 		s = core.New(sp)
+	}
+	return assemble(cfg, sp, s)
+}
+
+// spaceBytes is the total simulated-space size cfg implies. cfg must be
+// normalized.
+func (cfg Config) spaceBytes() uint64 {
+	return cfg.HeapBytes + cfg.StackBytes + cfg.GlobalBytes
+}
+
+// assemble wires a sanitizer into a complete Env — the shared tail of New
+// and Fork. cfg must be normalized and s must cover sp.
+func assemble(cfg Config, sp *vmem.Space, s san.Sanitizer) *Env {
+	var o *oracle.Oracle
+	if cfg.WithOracle {
+		o = oracle.New(sp)
 	}
 	if rp, ok := s.(san.ReferencePath); ok {
 		rp.SetReference(cfg.Reference)
@@ -194,12 +206,19 @@ func (e *Env) Reset() {
 	stackUsed := e.stack.Reinit()
 	globalUsed := uint64(e.globalBump - e.globalStart)
 	e.globalBump = e.globalStart
+	// Forked envs return the whole shadow to the base image in one
+	// O(dirty pages) overlay drop; dense envs scrub shadow span-wise. The
+	// application bytes are zeroed up to the bump frontiers either way.
+	od, _ := e.san.(san.OverlayDropper)
+	dropped := od != nil && od.DropOverlay()
 	scrub := func(base vmem.Addr, n uint64) {
 		if n == 0 {
 			return
 		}
 		e.space.Zero(base, n)
-		rs.ResetSpan(base, n)
+		if !dropped {
+			rs.ResetSpan(base, n)
+		}
 	}
 	scrub(e.heapStart, heapUsed)
 	scrub(e.stackStart, stackUsed)

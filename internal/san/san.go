@@ -138,6 +138,19 @@ type Resetter interface {
 	ResetStats()
 }
 
+// OverlayDropper is the copy-on-write refinement of Resetter: sanitizers
+// whose shadow is an overlay fork of an immutable base image implement it.
+// DropOverlay returns the *entire* shadow to the pristine image in
+// O(dirty pages) — strictly stronger than span-wise ResetSpan and
+// independent of how much the tenant allocated — and reports false when
+// the shadow is densely backed (not forked), in which case the caller
+// falls back to ResetSpan over the dirtied extents. The same differential
+// contract as Resetter applies: after a successful drop plus ResetStats,
+// the sanitizer must be byte- and counter-identical to a fresh instance.
+type OverlayDropper interface {
+	DropOverlay() bool
+}
+
 // Sanitizer is a complete location-based (or, for LFP, bounds-based) memory
 // error detector.
 type Sanitizer interface {

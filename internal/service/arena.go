@@ -4,18 +4,22 @@
 // trace replay, under a chosen sanitizer, scale and virtual-clock
 // deadline — to a pooled execution arena, and the engine around it
 // provides bounded admission with backpressure, panic isolation, graceful
-// drain, and a Prometheus-text metrics surface.
+// drain, and a Prometheus-text metrics surface. Engines scale out
+// horizontally as shards (see shards.go), each owning its own pool and
+// admission queue.
 //
 // The arena pool is the headline performance piece: a sanitizer runtime's
 // dominant allocation is its dense shadow array (one byte per 8-byte
 // segment over the whole simulated space), which rt.New builds and
-// initializes from scratch on every construction. Recycling an Env
-// through rt.Env.Reset instead costs time proportional to the memory the
-// previous session actually dirtied, so steady-state sessions skip the
-// arena build entirely. The reset differential suite in internal/rt is
-// what makes this safe: a recycled arena is byte-for-byte equivalent to a
-// fresh one, so no shadow poison, application bytes, counters or oracle
-// state can leak between tenants.
+// initializes from scratch on every construction. The pool's arenas are
+// instead copy-on-write forks of a shared pre-poisoned base image
+// (rt.Fork): construction writes no shadow bytes, a tenant's resident
+// shadow is proportional to the pages it dirtied, and recycling through
+// rt.Env.Reset is an O(dirty pages) overlay drop. The fork and reset
+// differential suites in internal/rt are what make this safe: a forked or
+// recycled arena is byte-for-byte equivalent to a fresh one, so no shadow
+// poison, application bytes, counters or oracle state can leak between
+// tenants.
 package service
 
 import (
@@ -31,6 +35,10 @@ type ArenaPool struct {
 	mu     sync.Mutex
 	perKey int
 	free   map[rt.Config][]*rt.Env
+	// pending counts arenas that hold a reserved shelf slot while their
+	// Reset runs outside the lock, so concurrent Puts cannot oversubscribe
+	// a shelf between the capacity check and the append.
+	pending map[rt.Config]int
 
 	hits    uint64
 	misses  uint64
@@ -49,6 +57,11 @@ type ArenaStats struct {
 	Dropped uint64
 	// Size is the number of arenas currently shelved, across all keys.
 	Size int
+	// Keys is the number of live configuration shelves. Shelves are
+	// deleted when they empty, so a service that has seen many distinct
+	// configs does not hold a map entry per config forever — Keys tracks
+	// current occupancy, not history.
+	Keys int
 }
 
 // NewArenaPool returns a pool shelving at most perKey idle arenas per
@@ -57,43 +70,62 @@ func NewArenaPool(perKey int) *ArenaPool {
 	if perKey <= 0 {
 		perKey = 1
 	}
-	return &ArenaPool{perKey: perKey, free: make(map[rt.Config][]*rt.Env)}
+	return &ArenaPool{perKey: perKey, free: make(map[rt.Config][]*rt.Env), pending: make(map[rt.Config]int)}
 }
 
-// Get returns an arena for cfg and whether it was recycled (warm). A
-// cold get builds a fresh environment.
+// Get returns an arena for cfg and whether it was recycled (warm). A cold
+// get forks the shared base image for cfg — no shadow bytes are written,
+// so even the cold path is cheap and the arena's resident shadow stays
+// proportional to what the session dirties.
 func (p *ArenaPool) Get(cfg rt.Config) (env *rt.Env, warm bool) {
 	cfg = cfg.Normalize() // match the key Put derives from env.Config()
 	p.mu.Lock()
 	if list := p.free[cfg]; len(list) > 0 {
 		env = list[len(list)-1]
-		p.free[cfg] = list[:len(list)-1]
+		if len(list) == 1 {
+			delete(p.free, cfg) // emptied shelf: drop the map entry too
+		} else {
+			p.free[cfg] = list[:len(list)-1]
+		}
 		p.hits++
 		p.mu.Unlock()
 		return env, true
 	}
 	p.misses++
 	p.mu.Unlock()
-	// Build outside the lock: construction is the expensive path and must
-	// not serialize concurrent cold sessions.
-	return rt.New(cfg), false
+	// Build outside the lock: construction must not serialize concurrent
+	// cold sessions.
+	return rt.Fork(cfg), false
 }
 
-// Put resets env and shelves it for reuse. Arenas beyond the per-key
-// bound are dropped on the floor for the GC (and counted); a session that
-// panicked must NOT Put its arena back (its state is suspect) — it Drops
-// it instead, which the engine enforces with a deferred return-or-drop on
-// every session path.
+// Put resets env and shelves it for reuse. Arenas beyond the per-key bound
+// are dropped on the floor for the GC (and counted) — before paying for
+// the reset: the capacity check reserves a shelf slot under the lock and
+// only a Put that holds a reservation scrubs, so the over-capacity path
+// does no reset work at all. A session that panicked must NOT Put its
+// arena back (its state is suspect) — it Drops it instead, which the
+// engine enforces with a deferred return-or-drop on every session path.
 func (p *ArenaPool) Put(env *rt.Env) {
-	env.Reset()
 	cfg := env.Config()
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.free[cfg]) < p.perKey {
-		p.free[cfg] = append(p.free[cfg], env)
+	if len(p.free[cfg])+p.pending[cfg] >= p.perKey {
+		p.dropped++
+		p.mu.Unlock()
 		return
 	}
-	p.dropped++
+	p.pending[cfg]++
+	p.mu.Unlock()
+
+	env.Reset() // the expensive part, outside the lock
+
+	p.mu.Lock()
+	if p.pending[cfg] == 1 {
+		delete(p.pending, cfg)
+	} else {
+		p.pending[cfg]--
+	}
+	p.free[cfg] = append(p.free[cfg], env)
+	p.mu.Unlock()
 }
 
 // Drop discards env without shelving it — the exit for arenas whose
@@ -117,5 +149,5 @@ func (p *ArenaPool) Stats() ArenaStats {
 	for _, list := range p.free {
 		size += len(list)
 	}
-	return ArenaStats{Hits: p.hits, Misses: p.misses, Dropped: p.dropped, Size: size}
+	return ArenaStats{Hits: p.hits, Misses: p.misses, Dropped: p.dropped, Size: size, Keys: len(p.free)}
 }

@@ -3,16 +3,28 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 
 	"giantsan/internal/workload"
 )
 
-// Server is the HTTP/JSON front-end over an Engine (the gsan -serve
-// surface):
+// Backend is the session surface the HTTP layer serves: a single Engine
+// or a ShardSet — the handlers cannot tell them apart.
+type Backend interface {
+	Submit(Request) (*Response, error)
+	WriteMetrics(io.Writer)
+	// Close drains the backend: queued and running sessions finish, new
+	// ones are refused.
+	Close()
+}
+
+// Server is the HTTP/JSON front-end over a Backend (the gsan -serve /
+// -serve-shards surface):
 //
 //	POST /sessions  — run one session; body is a Request, reply a Response
 //	GET  /metrics   — Prometheus text exposition of the engine counters
+//	                  (plus per-shard gsan_shard_* families when sharded)
 //	GET  /workloads — the runnable workload IDs, one JSON array
 //	GET  /healthz   — liveness probe
 //
@@ -26,13 +38,24 @@ import (
 // the service's product, and even a panicked-and-isolated session reports
 // its own failure in-band as status "error".
 type Server struct {
-	eng *Engine
-	mux *http.ServeMux
+	backend Backend
+	eng     *Engine // nil when the backend is a ShardSet
+	mux     *http.ServeMux
 }
 
-// NewServer wraps eng in the HTTP surface.
+// NewServer wraps a single engine in the HTTP surface.
 func NewServer(eng *Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := newServer(eng)
+	s.eng = eng
+	return s
+}
+
+// NewShardedServer wraps a shard set in the same HTTP surface: sessions
+// route by tenant key, /metrics adds the per-shard families.
+func NewShardedServer(set *ShardSet) *Server { return newServer(set) }
+
+func newServer(b Backend) *Server {
+	s := &Server{backend: b, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/sessions", s.handleSessions)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/workloads", s.handleWorkloads)
@@ -43,8 +66,12 @@ func NewServer(eng *Engine) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Engine returns the wrapped engine (for shutdown wiring).
+// Engine returns the wrapped engine, or nil for a sharded server (use
+// Close for shutdown wiring; it drains either backend).
 func (s *Server) Engine() *Engine { return s.eng }
+
+// Close drains the backend.
+func (s *Server) Close() { s.backend.Close() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -71,7 +98,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{"decode: " + err.Error()})
 		return
 	}
-	resp, err := s.eng.Submit(req)
+	resp, err := s.backend.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -87,7 +114,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.eng.WriteMetrics(w)
+	s.backend.WriteMetrics(w)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

@@ -6,15 +6,125 @@ import (
 	"reflect"
 	"sort"
 
+	"giantsan/internal/canary"
 	"giantsan/internal/san"
 )
 
-// WriteMetrics renders the engine's state in Prometheus text exposition
-// format: service counters (sessions, queue, arena pool), the sanitizer
-// work counters aggregated per sanitizer label, and the error-report
-// totals per report kind. Output order is deterministic (struct field
-// order, sorted label values) so scrapes diff cleanly.
-func (e *Engine) WriteMetrics(w io.Writer) {
+// Metrics are rendered from immutable snapshots so that one writer serves
+// both surfaces: a single Engine renders its own snapshot, and a ShardSet
+// renders the element-wise sum of its shards' snapshots as the aggregate,
+// followed by per-shard families. Summing snapshots (instead of
+// interleaving live reads) is what makes the shards-sum-to-aggregate
+// property exact: both views come from the same instant's numbers.
+
+// engineSnapshot is one engine's full metric state at a point in time.
+type engineSnapshot struct {
+	started, completed, rejected, timedout, panicked, downgraded uint64
+	queueDepth                                                   int
+	arenas                                                       ArenaStats
+	perSan                                                       map[string]san.Stats
+	perTier                                                      map[string]uint64
+	errKinds                                                     map[string]uint64
+	canary                                                       *canary.Counters
+	canarySkipped                                                uint64
+}
+
+// snapshot captures the engine's metric state. Counters are read completed
+// before started so the derived in-flight gauge can never go negative.
+func (e *Engine) snapshot() engineSnapshot {
+	s := engineSnapshot{queueDepth: e.QueueDepth(), arenas: e.arenas.Stats()}
+	s.completed = e.m.completed.Load()
+	s.started = e.m.started.Load()
+	s.rejected = e.m.rejected.Load()
+	s.timedout = e.m.timedout.Load()
+	s.panicked = e.m.panicked.Load()
+	s.downgraded = e.m.downgraded.Load()
+	if cs, ok := e.CanarySnapshot(); ok {
+		s.canary = &cs
+		s.canarySkipped = e.canarySkipped.Load()
+	}
+	e.mu.Lock()
+	s.perSan = make(map[string]san.Stats, len(e.perSan))
+	for l, st := range e.perSan {
+		s.perSan[l] = *st
+	}
+	s.perTier = make(map[string]uint64, len(e.perTier))
+	for n, v := range e.perTier {
+		s.perTier[n] = v
+	}
+	s.errKinds = make(map[string]uint64, len(e.errKinds))
+	for k, v := range e.errKinds {
+		s.errKinds[k] = v
+	}
+	e.mu.Unlock()
+	return s
+}
+
+// sumSnapshots folds shard snapshots into one aggregate view.
+func sumSnapshots(snaps []engineSnapshot) engineSnapshot {
+	agg := engineSnapshot{
+		perSan:   make(map[string]san.Stats),
+		perTier:  make(map[string]uint64),
+		errKinds: make(map[string]uint64),
+	}
+	for _, s := range snaps {
+		agg.started += s.started
+		agg.completed += s.completed
+		agg.rejected += s.rejected
+		agg.timedout += s.timedout
+		agg.panicked += s.panicked
+		agg.downgraded += s.downgraded
+		agg.queueDepth += s.queueDepth
+		agg.arenas.Hits += s.arenas.Hits
+		agg.arenas.Misses += s.arenas.Misses
+		agg.arenas.Dropped += s.arenas.Dropped
+		agg.arenas.Size += s.arenas.Size
+		agg.arenas.Keys += s.arenas.Keys
+		for l, st := range s.perSan {
+			cur := agg.perSan[l]
+			cur.Add(&st)
+			agg.perSan[l] = cur
+		}
+		for n, v := range s.perTier {
+			agg.perTier[n] += v
+		}
+		for k, v := range s.errKinds {
+			agg.errKinds[k] += v
+		}
+		if s.canary != nil {
+			if agg.canary == nil {
+				agg.canary = &canary.Counters{}
+			}
+			c := *agg.canary
+			c.Runs += s.canary.Runs
+			c.Discrepancies += s.canary.Discrepancies
+			c.ShrinkSteps += s.canary.ShrinkSteps
+			c.ShrinkReplays += s.canary.ShrinkReplays
+			c.ArtifactsWritten += s.canary.ArtifactsWritten
+			c.Failures += s.canary.Failures
+			if s.canary.MinReproEvents > c.MinReproEvents {
+				c.MinReproEvents = s.canary.MinReproEvents
+			}
+			agg.canary = &c
+			agg.canarySkipped += s.canarySkipped
+		}
+	}
+	return agg
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeAggregate renders one snapshot as the service-level metric families.
+// Output order is deterministic (struct field order, sorted label values)
+// so scrapes diff cleanly.
+func writeAggregate(w io.Writer, s engineSnapshot) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -22,73 +132,41 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 
-	counter("gsan_sessions_started_total", "Sessions that began executing.", e.m.started.Load())
-	counter("gsan_sessions_completed_total", "Sessions that finished (any status).", e.m.completed.Load())
-	counter("gsan_sessions_rejected_total", "Sessions refused by admission control.", e.m.rejected.Load())
-	counter("gsan_sessions_timedout_total", "Sessions whose virtual-clock bill exceeded their deadline.", e.m.timedout.Load())
-	counter("gsan_sessions_panicked_total", "Sessions that panicked and were isolated.", e.m.panicked.Load())
-	counter("gsan_sessions_downgraded_total", "Tiered sessions admission control moved to a cheaper rung.", e.m.downgraded.Load())
-	// Read completed before started: completed only grows, so this order
-	// can never produce a negative in-flight count.
-	completed := e.m.completed.Load()
-	gauge("gsan_sessions_inflight", "Sessions started but not yet finished.", int(e.m.started.Load()-completed))
-	gauge("gsan_queue_depth", "Admitted sessions waiting for a worker.", e.QueueDepth())
+	counter("gsan_sessions_started_total", "Sessions that began executing.", s.started)
+	counter("gsan_sessions_completed_total", "Sessions that finished (any status).", s.completed)
+	counter("gsan_sessions_rejected_total", "Sessions refused by admission control.", s.rejected)
+	counter("gsan_sessions_timedout_total", "Sessions whose virtual-clock bill exceeded their deadline.", s.timedout)
+	counter("gsan_sessions_panicked_total", "Sessions that panicked and were isolated.", s.panicked)
+	counter("gsan_sessions_downgraded_total", "Tiered sessions admission control moved to a cheaper rung.", s.downgraded)
+	gauge("gsan_sessions_inflight", "Sessions started but not yet finished.", int(s.started-s.completed))
+	gauge("gsan_queue_depth", "Admitted sessions waiting for a worker.", s.queueDepth)
 
-	as := e.arenas.Stats()
-	counter("gsan_arena_pool_hits_total", "Sessions served by a recycled arena.", as.Hits)
-	counter("gsan_arena_pool_misses_total", "Sessions that built a fresh arena.", as.Misses)
-	counter("gsan_arena_pool_dropped_total", "Arenas discarded instead of shelved (suspect state or over-capacity).", as.Dropped)
-	gauge("gsan_arena_pool_size", "Idle arenas currently shelved.", as.Size)
+	counter("gsan_arena_pool_hits_total", "Sessions served by a recycled arena.", s.arenas.Hits)
+	counter("gsan_arena_pool_misses_total", "Sessions that built a fresh arena.", s.arenas.Misses)
+	counter("gsan_arena_pool_dropped_total", "Arenas discarded instead of shelved (suspect state or over-capacity).", s.arenas.Dropped)
+	gauge("gsan_arena_pool_size", "Idle arenas currently shelved.", s.arenas.Size)
+	gauge("gsan_arena_pool_keys", "Live configuration shelves in the arena pool.", s.arenas.Keys)
 
-	if cs, ok := e.CanarySnapshot(); ok {
+	if cs := s.canary; cs != nil {
 		counter("gsan_canary_runs_total", "Differential canary runs completed.", cs.Runs)
 		counter("gsan_canary_discrepancies_total", "Canary runs whose fast/reference/oracle legs diverged.", cs.Discrepancies)
 		counter("gsan_canary_shrink_steps_total", "Successful ddmin reduction steps across all shrinks.", cs.ShrinkSteps)
 		counter("gsan_canary_shrink_replays_total", "Triple replays spent on shrink candidates.", cs.ShrinkReplays)
 		counter("gsan_canary_artifacts_written_total", "Divergence repro artifacts persisted to the canary dir.", cs.ArtifactsWritten)
 		counter("gsan_canary_failures_total", "Canary runs that failed for infrastructure reasons.", cs.Failures)
-		counter("gsan_canary_skipped_total", "Canary attempts skipped for lack of spare capacity.", e.canarySkipped.Load())
+		counter("gsan_canary_skipped_total", "Canary attempts skipped for lack of spare capacity.", s.canarySkipped)
 		gauge("gsan_canary_min_repro_events", "Event count of the most recent shrunk reproduction.", int(cs.MinReproEvents))
 	}
 
-	e.mu.Lock()
-	labels := make([]string, 0, len(e.perSan))
-	for l := range e.perSan {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels)
-	stats := make(map[string]san.Stats, len(labels))
-	for _, l := range labels {
-		stats[l] = *e.perSan[l]
-	}
-	tierNames := make([]string, 0, len(e.perTier))
-	for n := range e.perTier {
-		tierNames = append(tierNames, n)
-	}
-	sort.Strings(tierNames)
-	tierCounts := make(map[string]uint64, len(tierNames))
-	for _, n := range tierNames {
-		tierCounts[n] = e.perTier[n]
-	}
-	kinds := make([]string, 0, len(e.errKinds))
-	for k := range e.errKinds {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	kindTotals := make(map[string]uint64, len(kinds))
-	for _, k := range kinds {
-		kindTotals[k] = e.errKinds[k]
-	}
-	e.mu.Unlock()
-
 	fmt.Fprintf(w, "# HELP gsan_sessions_tier_total Completed sessions per resolved sanitization tier.\n# TYPE gsan_sessions_tier_total counter\n")
-	for _, n := range tierNames {
-		fmt.Fprintf(w, "gsan_sessions_tier_total{tier=%q} %d\n", n, tierCounts[n])
+	for _, n := range sortedKeys(s.perTier) {
+		fmt.Fprintf(w, "gsan_sessions_tier_total{tier=%q} %d\n", n, s.perTier[n])
 	}
 
 	// One metric family per san.Stats counter, named after its frozen
 	// JSON tag (the same wire schema the session responses use), with one
 	// sample per sanitizer label.
+	labels := sortedKeys(s.perSan)
 	st := reflect.TypeOf(san.Stats{})
 	for i := 0; i < st.NumField(); i++ {
 		tag := st.Field(i).Tag.Get("json")
@@ -96,13 +174,65 @@ func (e *Engine) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s Aggregated san.Stats.%s across completed sessions.\n# TYPE %s counter\n",
 			name, st.Field(i).Name, name)
 		for _, l := range labels {
-			v := reflect.ValueOf(stats[l]).Field(i).Uint()
+			v := reflect.ValueOf(s.perSan[l]).Field(i).Uint()
 			fmt.Fprintf(w, "%s{sanitizer=%q} %d\n", name, l, v)
 		}
 	}
 
 	fmt.Fprintf(w, "# HELP gsan_error_reports_total Memory-error reports raised by sessions, by kind.\n# TYPE gsan_error_reports_total counter\n")
-	for _, k := range kinds {
-		fmt.Fprintf(w, "gsan_error_reports_total{kind=%q} %d\n", k, kindTotals[k])
+	for _, k := range sortedKeys(s.errKinds) {
+		fmt.Fprintf(w, "gsan_error_reports_total{kind=%q} %d\n", k, s.errKinds[k])
 	}
+}
+
+// perShardFamily describes one gsan_shard_* family rendered with a shard
+// label, its value drawn from a snapshot.
+var perShardFamilies = []struct {
+	name, help, kind string
+	value            func(engineSnapshot) uint64
+}{
+	{"gsan_shard_sessions_started_total", "Sessions that began executing, per shard.", "counter", func(s engineSnapshot) uint64 { return s.started }},
+	{"gsan_shard_sessions_completed_total", "Sessions that finished (any status), per shard.", "counter", func(s engineSnapshot) uint64 { return s.completed }},
+	{"gsan_shard_sessions_rejected_total", "Sessions refused by admission control, per shard.", "counter", func(s engineSnapshot) uint64 { return s.rejected }},
+	{"gsan_shard_sessions_timedout_total", "Deadline-exceeded sessions, per shard.", "counter", func(s engineSnapshot) uint64 { return s.timedout }},
+	{"gsan_shard_sessions_panicked_total", "Isolated panicking sessions, per shard.", "counter", func(s engineSnapshot) uint64 { return s.panicked }},
+	{"gsan_shard_sessions_downgraded_total", "Tier downgrades, per shard.", "counter", func(s engineSnapshot) uint64 { return s.downgraded }},
+	{"gsan_shard_queue_depth", "Admitted sessions waiting for a worker, per shard.", "gauge", func(s engineSnapshot) uint64 { return uint64(s.queueDepth) }},
+	{"gsan_shard_arena_pool_hits_total", "Warm arena gets, per shard.", "counter", func(s engineSnapshot) uint64 { return s.arenas.Hits }},
+	{"gsan_shard_arena_pool_misses_total", "Cold arena gets, per shard.", "counter", func(s engineSnapshot) uint64 { return s.arenas.Misses }},
+	{"gsan_shard_arena_pool_dropped_total", "Arenas discarded instead of shelved, per shard.", "counter", func(s engineSnapshot) uint64 { return s.arenas.Dropped }},
+	{"gsan_shard_arena_pool_size", "Idle arenas currently shelved, per shard.", "gauge", func(s engineSnapshot) uint64 { return uint64(s.arenas.Size) }},
+}
+
+// writePerShard renders the gsan_shard_* families, one labeled sample per
+// shard per family.
+func writePerShard(w io.Writer, snaps []engineSnapshot) {
+	for _, f := range perShardFamilies {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for i, s := range snaps {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", f.name, i, f.value(s))
+		}
+	}
+}
+
+// WriteMetrics renders the engine's state in Prometheus text exposition
+// format: service counters (sessions, queue, arena pool), the sanitizer
+// work counters aggregated per sanitizer label, and the error-report
+// totals per report kind.
+func (e *Engine) WriteMetrics(w io.Writer) {
+	writeAggregate(w, e.snapshot())
+}
+
+// WriteMetrics renders the shard set's state: the aggregate families
+// (element-wise sums over one consistent set of shard snapshots — the
+// same names a single engine exposes, so dashboards work unchanged),
+// followed by the per-shard gsan_shard_* families whose samples sum
+// exactly to the aggregate.
+func (s *ShardSet) WriteMetrics(w io.Writer) {
+	snaps := make([]engineSnapshot, len(s.shards))
+	for i, e := range s.shards {
+		snaps[i] = e.snapshot()
+	}
+	writeAggregate(w, sumSnapshots(snaps))
+	writePerShard(w, snaps)
 }

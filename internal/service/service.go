@@ -78,6 +78,11 @@ type Request struct {
 	// reproducible across machines and interleavings. 0 means the
 	// engine's default; < 0 is rejected.
 	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+	// Tenant is the session's placement identity for sharded deployments:
+	// all sessions of one tenant consistently hash to the same shard (and
+	// so share its arena pool and queue). Empty falls back to the workload
+	// ID, then the trace body. Ignored by unsharded engines.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Resolved request state, filled by validate and resolveTier; never on
 	// the wire.
@@ -103,6 +108,9 @@ type Response struct {
 	// the pool), "cold" (freshly built), or "unpooled" (LFP, whose
 	// allocator-is-the-metadata runtime is not recyclable).
 	Arena string `json:"arena"`
+	// Shard is the worker shard that executed the session (sharded
+	// deployments; always 0 on an unsharded engine).
+	Shard int `json:"shard"`
 	// VirtualNs is the session's deterministic virtual-clock bill;
 	// WallNs the wall time the run took on this machine.
 	VirtualNs  int64 `json:"virtual_ns"`

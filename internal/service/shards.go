@@ -1,0 +1,147 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Horizontal scale-out: a ShardSet runs N fully independent Engines —
+// each with its own worker pool, admission queue and arena pool — and
+// routes every session to one of them by consistent hash of its tenant
+// key. Shards share nothing mutable (the only cross-shard sharing is the
+// immutable shadow base-image registry in internal/rt), so there is no
+// cross-shard lock to contend on and a panicking or saturated tenant
+// population degrades only the shard it hashes to.
+//
+// Routing uses a consistent-hash ring (vnodesPerShard virtual nodes per
+// shard, FNV-64a) rather than hash-mod-N so that resizing a deployment
+// remaps only ~1/N of the tenant keys — warm arena shelves and queue
+// affinity survive a scale-out instead of being reshuffled wholesale.
+
+// vnodesPerShard is the ring density. 64 vnodes per shard keeps the
+// expected load imbalance between shards in the low single-digit percent.
+const vnodesPerShard = 64
+
+type ringEntry struct {
+	hash  uint64
+	shard int
+}
+
+// ShardSet is a fixed set of independent engines behind one Submit
+// surface. It implements the same Backend contract as a single Engine.
+type ShardSet struct {
+	shards []*Engine
+	ring   []ringEntry
+}
+
+// NewShardSet starts n engines per cfg. The capacity knobs in cfg —
+// Workers, QueueDepth, ArenasPerKey (when set) — are totals for the whole
+// set and are divided across shards (ceiling division, minimum 1 each),
+// so `-serve-shards 4` with 8 workers means 4 shards × 2 workers, not
+// 4 × 8. The differential canary, when enabled, runs on shard 0 only:
+// it validates the sanitizer implementation, which every shard shares,
+// so one always-on instance suffices. Callers must Close the set.
+func NewShardSet(n int, cfg Config) *ShardSet {
+	if n <= 0 {
+		n = 1
+	}
+	per := cfg.withDefaults()
+	divide := func(total int) int { return (total + n - 1) / n }
+	per.Workers = divide(per.Workers)
+	per.QueueDepth = divide(per.QueueDepth)
+	if cfg.ArenasPerKey > 0 {
+		per.ArenasPerKey = divide(cfg.ArenasPerKey)
+	} else {
+		per.ArenasPerKey = 0 // re-derive from the per-shard worker count
+	}
+	s := &ShardSet{shards: make([]*Engine, n), ring: make([]ringEntry, 0, n*vnodesPerShard)}
+	for i := range s.shards {
+		shardCfg := per
+		shardCfg.CanaryEnabled = cfg.CanaryEnabled && i == 0
+		s.shards[i] = New(shardCfg)
+		for v := 0; v < vnodesPerShard; v++ {
+			s.ring = append(s.ring, ringEntry{hash: hash64(fmt.Sprintf("shard-%d/vnode-%d", i, v)), shard: i})
+		}
+	}
+	sort.Slice(s.ring, func(a, b int) bool { return s.ring[a].hash < s.ring[b].hash })
+	return s
+}
+
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-64a alone clusters on the
+// near-identical short strings used as vnode labels (ring positions end
+// up bunched, starving some shards); a final avalanche step spreads
+// them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// routeKey is the session's placement identity: the tenant when given,
+// else the workload ID (all sessions of one workload share arena shape,
+// so colocating them maximizes warm hits), else the trace body.
+func routeKey(req *Request) string {
+	switch {
+	case req.Tenant != "":
+		return req.Tenant
+	case req.Workload != "":
+		return req.Workload
+	default:
+		return req.TraceB64
+	}
+}
+
+// ShardFor returns the shard index the given tenant/session key routes
+// to: the first ring vnode clockwise of the key's hash.
+func (s *ShardSet) ShardFor(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].hash >= h })
+	if i == len(s.ring) {
+		i = 0 // wrap
+	}
+	return s.ring[i].shard
+}
+
+// NumShards returns the shard count.
+func (s *ShardSet) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard's engine, for tests and shard-local probes.
+func (s *ShardSet) Shard(i int) *Engine { return s.shards[i] }
+
+// Submit routes the session to its tenant's shard, blocks until it
+// completes there, and stamps the shard index into the response.
+func (s *ShardSet) Submit(req Request) (*Response, error) {
+	idx := s.ShardFor(routeKey(&req))
+	resp, err := s.shards[idx].Submit(req)
+	if resp != nil {
+		resp.Shard = idx
+	}
+	return resp, err
+}
+
+// QueueDepth returns the total queue depth across shards.
+func (s *ShardSet) QueueDepth() int {
+	total := 0
+	for _, e := range s.shards {
+		total += e.QueueDepth()
+	}
+	return total
+}
+
+// Close drains every shard (each finishes its queued and running
+// sessions) and returns when all are done.
+func (s *ShardSet) Close() {
+	for _, e := range s.shards {
+		e.Close()
+	}
+}

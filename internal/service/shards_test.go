@@ -1,0 +1,192 @@
+package service
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testShardConfig gives each shard enough queue headroom that a skewed
+// tenant hash cannot overflow one shard's admission queue mid-test (the
+// totals divide by the shard count).
+func testShardConfig() Config {
+	return Config{Workers: 4, QueueDepth: 128}
+}
+
+// TestShardRoutingIsDeterministicAndSpread pins the consistent-hash ring:
+// the same tenant always lands on the same shard, and a tenant population
+// spreads over every shard.
+func TestShardRoutingIsDeterministicAndSpread(t *testing.T) {
+	set := NewShardSet(4, testShardConfig())
+	defer set.Close()
+	seen := make(map[int]int)
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		s := set.ShardFor(key)
+		if again := set.ShardFor(key); again != s {
+			t.Fatalf("key %q routed to %d then %d", key, s, again)
+		}
+		if s < 0 || s >= set.NumShards() {
+			t.Fatalf("key %q routed to out-of-range shard %d", key, s)
+		}
+		seen[s]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("256 tenants covered only %d of 4 shards: %v", len(seen), seen)
+	}
+}
+
+// TestShardRoutingIsConsistentAcrossResize is the consistent-hashing
+// property: growing 4 shards to 5 must remap only a minority of keys
+// (expected ~1/5; hash-mod-N would remap ~4/5).
+func TestShardRoutingIsConsistentAcrossResize(t *testing.T) {
+	a := NewShardSet(4, testShardConfig())
+	b := NewShardSet(5, testShardConfig())
+	defer a.Close()
+	defer b.Close()
+	const keys = 1000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if a.ShardFor(key) != b.ShardFor(key) {
+			moved++
+		}
+	}
+	// Allow generous slack over the expected 1/5 before calling it broken.
+	if moved > keys/2 {
+		t.Fatalf("resize 4->5 moved %d/%d keys; consistent hashing should move ~1/5", moved, keys)
+	}
+}
+
+// TestShardSubmitRoutesByTenant proves Submit places sessions on the ring
+// shard and stamps it into the response.
+func TestShardSubmitRoutesByTenant(t *testing.T) {
+	set := NewShardSet(4, testShardConfig())
+	defer set.Close()
+	for i := 0; i < 8; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		resp, err := set.Submit(Request{Workload: "505.mcf_r", Tenant: tenant})
+		if err != nil {
+			t.Fatalf("submit %s: %v", tenant, err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("submit %s: status %s (%s)", tenant, resp.Status, resp.Message)
+		}
+		if want := set.ShardFor(tenant); resp.Shard != want {
+			t.Fatalf("tenant %s ran on shard %d, ring says %d", tenant, resp.Shard, want)
+		}
+	}
+}
+
+// metricValue sums the samples of a family in Prometheus text output,
+// optionally filtering by a label selector substring.
+func metricValues(t *testing.T, text, family string) (sum uint64, samples int) {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(family) + `(?:\{[^}]*\})? (\d+)$`)
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", m[0], err)
+		}
+		sum += v
+		samples++
+	}
+	return sum, samples
+}
+
+// TestShardMetricsSumToAggregate runs tenants across a 4-shard set and
+// asserts the per-shard gsan_shard_* samples sum exactly to the
+// aggregate families — the property the CI shards-smoke job rechecks
+// against the live /metrics endpoint.
+func TestShardMetricsSumToAggregate(t *testing.T) {
+	set := NewShardSet(4, testShardConfig())
+	defer set.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := set.Submit(Request{Workload: "505.mcf_r", Tenant: fmt.Sprintf("tenant-%d", i)})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var sb strings.Builder
+	set.WriteMetrics(&sb)
+	text := sb.String()
+	for _, family := range []string{
+		"sessions_started_total", "sessions_completed_total", "sessions_rejected_total",
+		"arena_pool_hits_total", "arena_pool_misses_total", "arena_pool_size",
+	} {
+		agg, aggN := metricValues(t, text, "gsan_"+family)
+		per, perN := metricValues(t, text, "gsan_shard_"+family)
+		if aggN != 1 {
+			t.Fatalf("family gsan_%s: %d aggregate samples", family, aggN)
+		}
+		if perN != 4 {
+			t.Fatalf("family gsan_shard_%s: %d samples, want one per shard", family, perN)
+		}
+		if agg != per {
+			t.Fatalf("family %s: aggregate %d != per-shard sum %d\n%s", family, agg, per, text)
+		}
+	}
+	if got, _ := metricValues(t, text, "gsan_sessions_completed_total"); got != 24 {
+		t.Fatalf("completed %d, want 24", got)
+	}
+}
+
+// TestShardedMatchesUnsharded is the virtual-clock determinism property
+// the bench-smoke shards gate rechecks: the same session batch produces
+// identical per-session outcomes (status, virtual bill, checksum, stats)
+// on a 1-shard and a 4-shard deployment — sharding changes placement and
+// throughput, never results.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	reqs := make([]Request, 12)
+	for i := range reqs {
+		wl := "505.mcf_r"
+		if i%3 == 1 {
+			wl = "500.perlbench_r"
+		}
+		san := "giantsan"
+		if i%4 == 2 {
+			san = "asan"
+		}
+		reqs[i] = Request{Workload: wl, Sanitizer: san, Tenant: fmt.Sprintf("tenant-%d", i)}
+	}
+	run := func(shards int) []*Response {
+		set := NewShardSet(shards, testShardConfig())
+		defer set.Close()
+		out := make([]*Response, len(reqs))
+		var wg sync.WaitGroup
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(i int, req Request) {
+				defer wg.Done()
+				resp, err := set.Submit(req)
+				if err != nil {
+					t.Errorf("submit %d: %v", i, err)
+					return
+				}
+				out[i] = resp
+			}(i, req)
+		}
+		wg.Wait()
+		return out
+	}
+	one, four := run(1), run(4)
+	for i := range reqs {
+		a, b := one[i], four[i]
+		if a == nil || b == nil {
+			t.Fatalf("request %d missing a response", i)
+		}
+		if a.Status != b.Status || a.VirtualNs != b.VirtualNs ||
+			a.Checksum != b.Checksum || a.Stats != b.Stats || a.ErrorTotal != b.ErrorTotal {
+			t.Fatalf("request %d diverges between 1 and 4 shards:\n1: %+v\n4: %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package shadow
+
+import (
+	"fmt"
+	"math/bits"
+
+	"giantsan/internal/vmem"
+)
+
+// Copy-on-write base images. A pooled arena's dominant memory cost is its
+// dense shadow array, and every arena of a given runtime configuration
+// starts from the *same* pristine pre-poisoned image. An Image captures
+// that snapshot once, immutably; Fork then builds a Memory whose pages all
+// alias the image. The first write to a page privatizes (materializes) a
+// copy, so a forked arena's resident shadow is proportional to the pages
+// its tenant actually dirtied, not to the arena size — and returning the
+// arena to pristine is DropOverlay, O(dirty pages), instead of re-scrubbing
+// spans.
+//
+// Concurrency: a dense Memory tolerates concurrent *disjoint* bulk writes
+// (the allocators poison disjoint chunks outside their locks), because
+// disjoint byte ranges share no state. A forked Memory does not: two
+// disjoint spans can land on the same page and race on its
+// materialization. Forked memories are therefore single-goroutine by
+// contract, which is exactly the service's execution model — one session,
+// one arena, one worker goroutine at a time.
+
+// PageShift is log2 of the overlay page size in segments.
+const PageShift = 12
+
+// PageSegs is the copy-on-write granularity: segments per overlay page.
+// At the 1:8 shadow density one page covers 32 KiB of application memory.
+const PageSegs = 1 << PageShift
+
+// PageBytes is the size of one overlay page in shadow bytes.
+const PageBytes = PageSegs
+
+const pageMask = PageSegs - 1
+
+// Image is an immutable pre-poisoned shadow snapshot shared by every
+// Memory forked from it. Views are read-only forever; all mutation happens
+// in the forks' private overlay pages.
+type Image struct {
+	base  vmem.Addr
+	nseg  int
+	views [][]uint8
+}
+
+// numPages returns the page count covering n segments.
+func numPages(n int) int { return (n + PageSegs - 1) >> PageShift }
+
+// pageLen returns the length of page pg over n total segments (the last
+// page may be partial).
+func pageLen(pg, n int) int {
+	if l := n - pg<<PageShift; l < PageSegs {
+		return l
+	}
+	return PageSegs
+}
+
+// NewUniformImage returns the image of a shadow uniformly holding code —
+// the pristine state every sanitizer constructor in this module lays down.
+// Uniformity makes the snapshot almost free: all full pages share one
+// backing page, so the image costs one page regardless of the arena size
+// it covers.
+func NewUniformImage(base vmem.Addr, numSegs int, code uint8) *Image {
+	if numSegs <= 0 {
+		panic(fmt.Sprintf("shadow: image over %d segments", numSegs))
+	}
+	page := make([]uint8, PageSegs)
+	for i := range page {
+		page[i] = code
+	}
+	np := numPages(numSegs)
+	views := make([][]uint8, np)
+	for pg := range views {
+		views[pg] = page[:pageLen(pg, numSegs):pageLen(pg, numSegs)]
+	}
+	return &Image{base: base, nseg: numSegs, views: views}
+}
+
+// Freeze snapshots a dense Memory into an Image, for base images whose
+// pristine state is not uniform. The codes are copied; the source Memory
+// stays independent.
+func (m *Memory) Freeze() *Image {
+	if m.units == nil {
+		panic("shadow: Freeze on an image-forked Memory")
+	}
+	codes := make([]uint8, len(m.units))
+	copy(codes, m.units)
+	np := numPages(len(codes))
+	views := make([][]uint8, np)
+	for pg := range views {
+		lo := pg << PageShift
+		views[pg] = codes[lo : lo+pageLen(pg, len(codes)) : lo+pageLen(pg, len(codes))]
+	}
+	return &Image{base: m.base, nseg: len(codes), views: views}
+}
+
+// Base returns the base address the image covers.
+func (img *Image) Base() vmem.Addr { return img.base }
+
+// NumSegments returns the number of segments the image covers.
+func (img *Image) NumSegments() int { return img.nseg }
+
+// Fork returns a Memory whose every page aliases img: construction is
+// O(pages) pointer copies, no shadow bytes are written or owned until the
+// fork is mutated. See the package note above for the single-goroutine
+// contract forked memories carry.
+func Fork(img *Image) *Memory {
+	pages := make([][]uint8, len(img.views))
+	copy(pages, img.views)
+	return &Memory{
+		base:  img.base,
+		nseg:  img.nseg,
+		img:   img,
+		pages: pages,
+		dirty: make([]uint64, (len(pages)+63)/64),
+	}
+}
+
+// Forked reports whether m is an overlay fork of a base image.
+func (m *Memory) Forked() bool { return m.img != nil }
+
+// OverlayStats reports the overlay's footprint: privatized (dirty) page
+// count and their resident shadow bytes. Both are zero for a dense Memory
+// and right after DropOverlay — the measure of "memory proportional to
+// what the tenant dirtied".
+func (m *Memory) OverlayStats() (pages int, bytes int) {
+	return m.dirtyPages, m.dirtyBytes
+}
+
+// DropOverlay releases every privatized page back to the base image,
+// returning the fork to the pristine state in O(dirty pages). It reports
+// whether m was forked at all; a dense Memory is left untouched, so
+// callers can use it as "reset the shadow if image-backed" without
+// classifying first.
+func (m *Memory) DropOverlay() bool {
+	if m.img == nil {
+		return false
+	}
+	for w, word := range m.dirty {
+		for word != 0 {
+			pg := w<<6 + bits.TrailingZeros64(word)
+			m.pages[pg] = m.img.views[pg]
+			word &= word - 1
+		}
+		m.dirty[w] = 0
+	}
+	m.dirtyPages, m.dirtyBytes = 0, 0
+	return true
+}
+
+// materialize privatizes page pg (first write), copying the image codes it
+// currently shows, and returns the writable page.
+func (m *Memory) materialize(pg int) []uint8 {
+	if m.dirty[pg>>6]&(1<<(pg&63)) == 0 {
+		priv := make([]uint8, len(m.pages[pg]))
+		copy(priv, m.pages[pg])
+		m.pages[pg] = priv
+		m.dirty[pg>>6] |= 1 << (pg & 63)
+		m.dirtyPages++
+		m.dirtyBytes += len(priv)
+	}
+	return m.pages[pg]
+}
+
+// forSpan visits the writable byte slices covering segments [p, p+n),
+// materializing overlay pages as it goes. off is the span-relative offset
+// of dst's first byte. Dense memories yield the single contiguous slice.
+func (m *Memory) forSpan(p, n int, fn func(off int, dst []uint8)) {
+	if n <= 0 {
+		return
+	}
+	if m.units != nil {
+		fn(0, m.units[p:p+n])
+		return
+	}
+	for off := 0; off < n; {
+		i := p + off
+		dst := m.materialize(i >> PageShift)
+		lo := i & pageMask
+		chunk := min(len(dst)-lo, n-off)
+		fn(off, dst[lo:lo+chunk])
+		off += chunk
+	}
+}
+
+// forSpanRead is forSpan's read-only twin: it never materializes, serving
+// clean pages straight from the image.
+func (m *Memory) forSpanRead(p, n int, fn func(off int, src []uint8)) {
+	if n <= 0 {
+		return
+	}
+	if m.units != nil {
+		fn(0, m.units[p:p+n])
+		return
+	}
+	for off := 0; off < n; {
+		i := p + off
+		src := m.pages[i>>PageShift]
+		lo := i & pageMask
+		chunk := min(len(src)-lo, n-off)
+		fn(off, src[lo:lo+chunk])
+		off += chunk
+	}
+}

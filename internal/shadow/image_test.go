@@ -1,0 +1,235 @@
+package shadow
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"giantsan/internal/vmem"
+)
+
+// Multi-page geometry for the overlay tests: 256 KiB of application space
+// is 32768 segments = 8 overlay pages.
+func multiPageSpace() *vmem.Space { return vmem.NewSpace(1 << 18) }
+
+func TestUniformImageSharesOneBackingPage(t *testing.T) {
+	sp := multiPageSpace()
+	img := NewUniformImage(sp.Base(), int(sp.Size()>>SegShift), 0xFE)
+	if img.NumSegments() != 32768 || len(img.views) != 8 {
+		t.Fatalf("geometry: %d segments, %d views", img.NumSegments(), len(img.views))
+	}
+	for pg := 1; pg < len(img.views); pg++ {
+		if &img.views[pg][0] != &img.views[0][0] {
+			t.Errorf("page %d does not alias the shared backing page", pg)
+		}
+	}
+	// A partial tail page still shows the code.
+	odd := NewUniformImage(sp.Base(), PageSegs+5, 0x3C)
+	if len(odd.views) != 2 || len(odd.views[1]) != 5 {
+		t.Fatalf("tail geometry: %d views, tail len %d", len(odd.views), len(odd.views[1]))
+	}
+	m := Fork(odd)
+	if m.LoadSeg(PageSegs+4) != 0x3C {
+		t.Error("tail segment does not show the image code")
+	}
+}
+
+func TestForkReadsImageWithoutResidency(t *testing.T) {
+	sp := multiPageSpace()
+	img := NewUniformImage(sp.Base(), int(sp.Size()>>SegShift), 0xFE)
+	m := Fork(img)
+	if !m.Forked() {
+		t.Fatal("Forked() = false on a fork")
+	}
+	for _, p := range []int{0, 1, PageSegs - 1, PageSegs, m.NumSegments() - 1} {
+		if got := m.LoadSeg(p); got != 0xFE {
+			t.Errorf("segment %d = %#x, want the image code", p, got)
+		}
+	}
+	if m.Load(sp.Base()) != 0xFE || m.LoadUnchecked(sp.Base()+64) != 0xFE {
+		t.Error("address-keyed reads diverge from the image")
+	}
+	if pages, b := m.OverlayStats(); pages != 0 || b != 0 {
+		t.Errorf("pristine fork resident: %d pages, %d bytes", pages, b)
+	}
+}
+
+func TestForkWriteMaterializesOnlyTouchedPages(t *testing.T) {
+	sp := multiPageSpace()
+	img := NewUniformImage(sp.Base(), int(sp.Size()>>SegShift), 0xFE)
+	m := Fork(img)
+	other := Fork(img)
+
+	m.StoreSeg(10, 0x01)
+	if pages, b := m.OverlayStats(); pages != 1 || b != PageBytes {
+		t.Fatalf("after one store: %d pages, %d bytes", pages, b)
+	}
+	m.StoreSeg(11, 0x02) // same page: no new residency
+	if pages, _ := m.OverlayStats(); pages != 1 {
+		t.Fatalf("same-page store materialized again: %d pages", pages)
+	}
+	m.Fill64(3*PageSegs+7, 2*PageSegs, 0x55) // spans pages 3, 4, 5
+	if pages, _ := m.OverlayStats(); pages != 4 {
+		t.Fatalf("after span fill: %d pages resident, want 4", pages)
+	}
+	// Sibling fork and the image itself stay pristine.
+	if other.LoadSeg(10) != 0xFE || other.LoadSeg(3*PageSegs+7) != 0xFE {
+		t.Error("sibling fork sees this fork's writes")
+	}
+	if op, ob := other.OverlayStats(); op != 0 || ob != 0 {
+		t.Error("sibling fork gained residency")
+	}
+	// Untouched pages in the written fork still read through.
+	if m.LoadSeg(PageSegs+1) != 0xFE {
+		t.Error("clean page no longer reads the image")
+	}
+}
+
+func TestDropOverlayRestoresPristine(t *testing.T) {
+	sp := multiPageSpace()
+	nseg := int(sp.Size() >> SegShift)
+	img := NewUniformImage(sp.Base(), nseg, 0xFE)
+	m := Fork(img)
+	m.Fill(100, 3*PageSegs, 0xAA)
+	m.StoreWide(nseg-WideSegs, 0x1122334455667788)
+	if pages, _ := m.OverlayStats(); pages == 0 {
+		t.Fatal("no pages dirtied")
+	}
+	if !m.DropOverlay() {
+		t.Fatal("DropOverlay() = false on a fork")
+	}
+	if pages, b := m.OverlayStats(); pages != 0 || b != 0 {
+		t.Fatalf("after drop: %d pages, %d bytes resident", pages, b)
+	}
+	fresh := Fork(img)
+	if !bytes.Equal(m.Snapshot(0, nseg), fresh.Snapshot(0, nseg)) {
+		t.Fatal("dropped fork is not byte-identical to a fresh fork")
+	}
+	// The fork is reusable: writing after a drop materializes again.
+	m.StoreSeg(0, 0x01)
+	if m.LoadSeg(0) != 0x01 || fresh.LoadSeg(0) != 0xFE {
+		t.Error("post-drop write broken or leaked")
+	}
+	// Dense memories report false and are untouched.
+	d := New(sp)
+	d.Fill(0, 64, 9)
+	if d.DropOverlay() {
+		t.Error("DropOverlay() = true on a dense Memory")
+	}
+	if d.LoadSeg(5) != 9 {
+		t.Error("DropOverlay mutated a dense Memory")
+	}
+}
+
+func TestRawPanicsOnFork(t *testing.T) {
+	img := NewUniformImage(vmem.DefaultBase, 64, 0)
+	m := Fork(img)
+	defer func() {
+		if recover() == nil {
+			t.Error("Raw() on a fork did not panic")
+		}
+	}()
+	m.Raw()
+}
+
+func TestFreezeSnapshotsDenseMemory(t *testing.T) {
+	sp := multiPageSpace()
+	nseg := int(sp.Size() >> SegShift)
+	src := New(sp)
+	for i := 0; i < nseg; i += 97 {
+		src.StoreSeg(i, uint8(i))
+	}
+	img := src.Freeze()
+	m := Fork(img)
+	if !bytes.Equal(m.Snapshot(0, nseg), src.Snapshot(0, nseg)) {
+		t.Fatal("fork of frozen image diverges from the source")
+	}
+	// The three are independent: mutating any one leaves the others alone.
+	src.StoreSeg(0, 0x77)
+	m.StoreSeg(97, 0x66)
+	if m.LoadSeg(0) == 0x77 || src.LoadSeg(97) == 0x66 {
+		t.Error("freeze did not decouple the fork from its source")
+	}
+	if fresh := Fork(img); fresh.LoadSeg(97) == 0x66 {
+		t.Error("fork write reached the image")
+	}
+}
+
+// TestForkMatchesDense is the overlay's differential suite: the same
+// operation sequence applied to a dense Memory and to an image fork must
+// produce byte-identical shadows at every probe point, across every writer
+// and both wide readers.
+func TestForkMatchesDense(t *testing.T) {
+	sp := multiPageSpace()
+	nseg := int(sp.Size() >> SegShift)
+	const code = 0xFE
+	dense := New(sp)
+	dense.Fill(0, nseg, code)
+	fork := Fork(NewUniformImage(sp.Base(), nseg, code))
+
+	rng := rand.New(rand.NewSource(8))
+	span := func() (int, int) {
+		p := rng.Intn(nseg)
+		n := rng.Intn(3 * PageSegs)
+		if p+n > nseg {
+			n = nseg - p
+		}
+		return p, n
+	}
+	for step := 0; step < 2000; step++ {
+		v := uint8(rng.Intn(256))
+		switch rng.Intn(7) {
+		case 0:
+			p, n := span()
+			dense.Fill(p, n, v)
+			fork.Fill(p, n, v)
+		case 1:
+			p, n := span()
+			dense.Fill64(p, n, v)
+			fork.Fill64(p, n, v)
+		case 2:
+			p := rng.Intn(nseg)
+			dense.StoreSeg(p, v)
+			fork.StoreSeg(p, v)
+		case 3:
+			p := rng.Intn(nseg - WideSegs + 1)
+			w := rng.Uint64()
+			dense.StoreWide(p, w)
+			fork.StoreWide(p, w)
+		case 4:
+			p, n := span()
+			if n > 512 {
+				n = 512
+			}
+			tpl := make([]uint8, n)
+			rng.Read(tpl)
+			dense.CopySeg(p, tpl)
+			fork.CopySeg(p, tpl)
+		case 5:
+			off := vmem.Addr(rng.Intn(int(sp.Size()) / 2))
+			size := uint64(rng.Intn(int(sp.Size())/2-1) + 1)
+			dense.ReimageSpan(sp.Base()+off, size, v)
+			fork.ReimageSpan(sp.Base()+off, size, v)
+		case 6:
+			p := rng.Intn(nseg - WideSegs + 1)
+			if dw, fw := dense.LoadWide(p), fork.LoadWide(p); dw != fw {
+				t.Fatalf("step %d: LoadWide(%d) dense %#x fork %#x", step, p, dw, fw)
+			}
+		}
+		p := rng.Intn(nseg)
+		if dv, fv := dense.LoadSeg(p), fork.LoadSeg(p); dv != fv {
+			t.Fatalf("step %d: segment %d dense %#x fork %#x", step, p, dv, fv)
+		}
+	}
+	if !bytes.Equal(dense.Snapshot(0, nseg), fork.Snapshot(0, nseg)) {
+		t.Fatal("final shadows diverge")
+	}
+	// Every page-straddling LoadWide position agrees too.
+	for pg := 1; pg < numPages(nseg); pg++ {
+		for p := pg<<PageShift - WideSegs + 1; p < pg<<PageShift; p++ {
+			if dw, fw := dense.LoadWide(p), fork.LoadWide(p); dw != fw {
+				t.Fatalf("straddle LoadWide(%d): dense %#x fork %#x", p, dw, fw)
+			}
+		}
+	}
+}

@@ -7,6 +7,13 @@
 // codes and leaves their interpretation to the sanitizer packages
 // (internal/asan, internal/core). That split mirrors the paper, where the
 // shadow mapping is shared infrastructure and only the encoding changes.
+//
+// A Memory is either dense — one contiguous code array, the layout every
+// experiment driver uses — or an overlay fork of an immutable base Image
+// (see image.go): pages alias the shared pristine snapshot until first
+// write privatizes them, which is what lets the service layer keep
+// thousands of resident arenas whose shadow cost is proportional to what
+// each tenant dirtied.
 package shadow
 
 import (
@@ -28,25 +35,35 @@ const SegSize = 1 << SegShift
 // cost can count them; the hot sanitizer paths use Load exactly once per
 // conceptual "shadow memory read" in the paper's algorithms.
 type Memory struct {
-	base  vmem.Addr // base address of the covered space
+	base vmem.Addr // base address of the covered space
+	nseg int       // total segments covered
+	// Dense representation: the contiguous code array. nil when forked.
 	units []uint8
+	// Overlay representation (Fork): per-page views into either the base
+	// image or privatized copies, plus the dirty-page bitmap. See image.go.
+	img        *Image
+	pages      [][]uint8
+	dirty      []uint64
+	dirtyPages int
+	dirtyBytes int
 }
 
-// New returns zeroed shadow memory covering the whole space.
+// New returns zeroed dense shadow memory covering the whole space.
 func New(sp *vmem.Space) *Memory {
-	return &Memory{base: sp.Base(), units: make([]uint8, sp.Size()>>SegShift)}
+	n := int(sp.Size() >> SegShift)
+	return &Memory{base: sp.Base(), nseg: n, units: make([]uint8, n)}
 }
 
 // Base returns the base address of the covered space.
 func (m *Memory) Base() vmem.Addr { return m.base }
 
 // NumSegments returns the number of segments covered.
-func (m *Memory) NumSegments() int { return len(m.units) }
+func (m *Memory) NumSegments() int { return m.nseg }
 
 // Index returns the segment index of address a.
 func (m *Memory) Index(a vmem.Addr) int {
 	i := int((a - m.base) >> SegShift)
-	if a < m.base || i >= len(m.units) {
+	if a < m.base || i >= m.nseg {
 		panic(fmt.Sprintf("shadow: address %#x outside covered space", a))
 	}
 	return i
@@ -54,17 +71,17 @@ func (m *Memory) Index(a vmem.Addr) int {
 
 // Contains reports whether address a lies in the covered space.
 func (m *Memory) Contains(a vmem.Addr) bool {
-	return a >= m.base && (a-m.base)>>SegShift < vmem.Addr(len(m.units))
+	return a >= m.base && (a-m.base)>>SegShift < vmem.Addr(m.nseg)
 }
 
 // Load returns the state code of the segment covering address a.
-func (m *Memory) Load(a vmem.Addr) uint8 { return m.units[m.Index(a)] }
+func (m *Memory) Load(a vmem.Addr) uint8 { return m.CodeAt(m.Index(a)) }
 
 // LoadSeg returns the state code of segment index p.
-func (m *Memory) LoadSeg(p int) uint8 { return m.units[p] }
+func (m *Memory) LoadSeg(p int) uint8 { return m.CodeAt(p) }
 
 // Store sets the state code of the segment covering address a.
-func (m *Memory) Store(a vmem.Addr, v uint8) { m.units[m.Index(a)] = v }
+func (m *Memory) Store(a vmem.Addr, v uint8) { m.StoreSeg(m.Index(a), v) }
 
 // Unchecked hot-path accessors. The checked accessors above panic on wild
 // addresses, which is the right default for allocators and tools; the
@@ -78,17 +95,36 @@ func (m *Memory) IndexUnchecked(a vmem.Addr) int {
 	return int((a - m.base) >> SegShift)
 }
 
+// CodeAt returns the state code of segment index p without the
+// covered-space classification — the hot read primitive the check paths
+// build on. p must be below NumSegments. Dense memories read the flat
+// array; forks read through the page table (clean pages serve the shared
+// base image).
+func (m *Memory) CodeAt(p int) uint8 {
+	if m.units != nil {
+		return m.units[p]
+	}
+	return m.pages[p>>PageShift][p&pageMask]
+}
+
 // LoadUnchecked returns the state code of the segment covering a without
 // the covered-space check. a must satisfy Contains(a).
 func (m *Memory) LoadUnchecked(a vmem.Addr) uint8 {
-	return m.units[(a-m.base)>>SegShift]
+	return m.CodeAt(int((a - m.base) >> SegShift))
 }
 
 // Raw exposes the backing state-code array for hot check paths: index p
 // holds segment p's code (the same values LoadSeg returns). Callers must
 // keep every index below NumSegments and must treat the slice as read-only;
-// all mutation goes through Store/StoreSeg/Fill.
-func (m *Memory) Raw() []uint8 { return m.units }
+// all mutation goes through Store/StoreSeg/Fill. Only dense memories have
+// a contiguous backing array — a forked Memory panics here; use CodeAt /
+// Snapshot, which serve both layouts.
+func (m *Memory) Raw() []uint8 {
+	if m.units == nil {
+		panic("shadow: Raw on an image-forked Memory (no contiguous backing); use CodeAt or Snapshot")
+	}
+	return m.units
+}
 
 // WideSegs is the number of segments one LoadWide covers.
 const WideSegs = 8
@@ -100,25 +136,49 @@ const WideSegs = 8
 // means 8 fully addressable segments under ASan's encoding). p+8 must not
 // exceed NumSegments.
 func (m *Memory) LoadWide(p int) uint64 {
-	return binary.LittleEndian.Uint64(m.units[p:])
+	if Debug {
+		m.assertSpan("LoadWide", p, WideSegs)
+	}
+	if m.units != nil {
+		return binary.LittleEndian.Uint64(m.units[p:])
+	}
+	page := m.pages[p>>PageShift]
+	if off := p & pageMask; off+WideSegs <= len(page) {
+		return binary.LittleEndian.Uint64(page[off:])
+	}
+	// The word straddles a page boundary: assemble byte-wise (rare — only
+	// 8-of-PageSegs positions per page can land here).
+	var w uint64
+	for i := 0; i < WideSegs; i++ {
+		w |= uint64(m.CodeAt(p+i)) << (8 * i)
+	}
+	return w
 }
 
 // StoreSeg sets the state code of segment index p.
-func (m *Memory) StoreSeg(p int, v uint8) { m.units[p] = v }
+func (m *Memory) StoreSeg(p int, v uint8) {
+	if m.units != nil {
+		m.units[p] = v
+		return
+	}
+	m.materialize(p >> PageShift)[p&pageMask] = v
+}
 
-// Debug gates the span assertions on the bulk writers (Fill, Fill64,
-// StoreWide, CopySeg). Unlike the read side — where IndexUnchecked exists
-// because per-load classification is the hot cost — the writers pay one
-// comparison pair per *call*, negligible next to the writes themselves, so
-// the assertions default to on. Without them a negative n is accepted
-// silently by the word-stepping writers (the loop simply never runs),
-// hiding an allocator arithmetic bug behind a no-op.
+// Debug gates the span assertions on the bulk accessors (Fill, Fill64,
+// LoadWide, StoreWide, CopySeg). Unlike the per-segment read side — where
+// IndexUnchecked exists because per-load classification is the hot cost —
+// the bulk routines pay one comparison pair per *call*, negligible next to
+// the bytes they move, so the assertions default to on. Without them a
+// negative n is accepted silently by the word-stepping writers (the loop
+// simply never runs), hiding an allocator arithmetic bug behind a no-op,
+// and a short LoadWide would fail as a bare slice-bounds panic instead of
+// naming the offending span.
 var Debug = true
 
 // assertSpan panics when [p, p+n) is not a valid segment span.
 func (m *Memory) assertSpan(op string, p, n int) {
-	if n < 0 || p < 0 || p+n > len(m.units) {
-		panic(fmt.Sprintf("shadow: %s span [%d, %d+%d) outside the %d covered segments", op, p, p, n, len(m.units)))
+	if n < 0 || p < 0 || p+n > m.nseg {
+		panic(fmt.Sprintf("shadow: %s span [%d, %d+%d) outside the %d covered segments", op, p, p, n, m.nseg))
 	}
 }
 
@@ -129,10 +189,11 @@ func (m *Memory) Fill(p, n int, v uint8) {
 	if Debug {
 		m.assertSpan("Fill", p, n)
 	}
-	region := m.units[p : p+n]
-	for i := range region {
-		region[i] = v
-	}
+	m.forSpan(p, n, func(_ int, dst []uint8) {
+		for i := range dst {
+			dst[i] = v
+		}
+	})
 }
 
 // Fill64 sets n consecutive segments starting at segment index p to v,
@@ -144,28 +205,32 @@ func (m *Memory) Fill64(p, n int, v uint8) {
 	if Debug {
 		m.assertSpan("Fill64", p, n)
 	}
-	region := m.units[p : p+n]
 	word := uint64(v) * 0x0101010101010101
-	for len(region) >= 8 {
-		binary.LittleEndian.PutUint64(region, word)
-		region = region[8:]
-	}
-	for i := range region {
-		region[i] = v
-	}
+	m.forSpan(p, n, func(_ int, dst []uint8) {
+		for len(dst) >= 8 {
+			binary.LittleEndian.PutUint64(dst, word)
+			dst = dst[8:]
+		}
+		for i := range dst {
+			dst[i] = v
+		}
+	})
 }
 
 // ReimageSpan returns the segments covering the address span [a, a+size)
-// to one uniform code — the arena-recycling reinitialization hook. It
-// rounds size up to whole segments (a recycled span's tail segment must
-// not keep stale codes) and retires 8 segments per machine store via
-// Fill64. Reimaging is arena maintenance, not sanitizer work: callers
-// deliberately bypass the Stats counters.
+// to one uniform code — the arena-recycling reinitialization hook. The
+// segment count is derived from the span's *end* segment, so an unaligned
+// start address still reimages its last overlapping segment (deriving the
+// count from size alone under-counts by one whenever a%8 + size%8 spills
+// into an extra segment). Retires 8 segments per machine store via Fill64.
+// Reimaging is arena maintenance, not sanitizer work: callers deliberately
+// bypass the Stats counters.
 func (m *Memory) ReimageSpan(a vmem.Addr, size uint64, v uint8) {
 	if size == 0 {
 		return
 	}
-	m.Fill64(m.Index(a), int((size+SegSize-1)>>SegShift), v)
+	l := m.Index(a)
+	m.Fill64(l, m.Index(a+vmem.Addr(size)-1)-l+1, v)
 }
 
 // StoreWide sets the codes of the 8 consecutive segments starting at
@@ -175,7 +240,15 @@ func (m *Memory) StoreWide(p int, w uint64) {
 	if Debug {
 		m.assertSpan("StoreWide", p, WideSegs)
 	}
-	binary.LittleEndian.PutUint64(m.units[p:], w)
+	if m.units != nil {
+		binary.LittleEndian.PutUint64(m.units[p:], w)
+		return
+	}
+	var buf [WideSegs]uint8
+	binary.LittleEndian.PutUint64(buf[:], w)
+	m.forSpan(p, WideSegs, func(off int, dst []uint8) {
+		copy(dst, buf[off:])
+	})
 }
 
 // CopySeg stamps the template codes into the segments starting at segment
@@ -185,14 +258,22 @@ func (m *Memory) CopySeg(p int, codes []uint8) {
 	if Debug {
 		m.assertSpan("CopySeg", p, len(codes))
 	}
-	copy(m.units[p:], codes)
+	m.forSpan(p, len(codes), func(off int, dst []uint8) {
+		copy(dst, codes[off:])
+	})
 }
 
 // Snapshot copies the state codes of n segments starting at segment p.
-// It exists for tests and the shadowviz tool.
+// It exists for tests, the shadowviz tool, and any caller that needs a
+// contiguous view of a (possibly forked) shadow.
 func (m *Memory) Snapshot(p, n int) []uint8 {
+	if p < 0 || n < 0 || p+n > m.nseg {
+		panic(fmt.Sprintf("shadow: Snapshot span [%d, %d+%d) outside the %d covered segments", p, p, n, m.nseg))
+	}
 	out := make([]uint8, n)
-	copy(out, m.units[p:p+n])
+	m.forSpanRead(p, n, func(off int, src []uint8) {
+		copy(out[off:], src)
+	})
 	return out
 }
 

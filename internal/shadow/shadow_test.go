@@ -158,6 +158,30 @@ func TestBulkWriterSpanAssertions(t *testing.T) {
 	mustPanic("Fill64(past end)", func() { m.Fill64(m.NumSegments()-2, 4, 7) })
 	mustPanic("StoreWide(past end)", func() { m.StoreWide(m.NumSegments()-7, 1) })
 	mustPanic("CopySeg(past end)", func() { m.CopySeg(m.NumSegments()-2, []uint8{1, 2, 3}) })
+	mustPanic("LoadWide(past end)", func() { m.LoadWide(m.NumSegments() - 7) })
+	mustPanic("LoadWide(p<0)", func() { m.LoadWide(-1) })
+}
+
+// TestBulkAssertionsGatedByDebug pins what the Debug flag actually gates:
+// with assertions off, a negative span is the documented silent no-op (the
+// word-stepping loops simply never run) rather than a panic. The in-bounds
+// behaviour of every accessor is identical either way.
+func TestBulkAssertionsGatedByDebug(t *testing.T) {
+	defer func(d bool) { Debug = d }(Debug)
+	Debug = false
+	sp := vmem.NewSpace(256)
+	m := New(sp)
+	m.Fill(4, -1, 7)   // must not panic
+	m.Fill64(4, -3, 7) // must not panic
+	for i := 0; i < m.NumSegments(); i++ {
+		if m.LoadSeg(i) != 0 {
+			t.Fatalf("negative-span fill wrote segment %d", i)
+		}
+	}
+	m.StoreWide(0, 0x0102030405060708)
+	if got := m.LoadWide(0); got != 0x0102030405060708 {
+		t.Errorf("LoadWide with Debug off = %#x", got)
+	}
 }
 
 func TestSegStart(t *testing.T) {
@@ -187,6 +211,42 @@ func TestReimageSpan(t *testing.T) {
 			}
 			if got := m.Load(sp.Base() + vmem.Addr(i)*SegSize); got != want {
 				t.Fatalf("size %d: segment %d = %#x, want %#x", size, i, got, want)
+			}
+		}
+	}
+}
+
+// TestReimageSpanUnaligned is the regression test for the unaligned-start
+// bug: deriving the segment count from size alone under-counts whenever the
+// start offset plus the size tail spills into an extra segment (e.g. a%8=4,
+// size=8 covers two segments, not one), leaving the last overlapping
+// segment with stale codes. The count must come from the end segment.
+func TestReimageSpanUnaligned(t *testing.T) {
+	sp := vmem.NewSpace(1 << 12)
+	m := New(sp)
+	for _, tt := range []struct {
+		off, size uint64
+	}{
+		{4, 8},  // the ISSUE example: straddles segments 0 and 1
+		{1, 1},  // sub-segment span
+		{7, 2},  // crosses exactly one boundary
+		{4, 12}, // off%8 + size%8 == 8: still spills (ends mid-segment 1)
+		{3, 64}, // aligned size, unaligned start
+		{5, 99}, // nothing aligned
+	} {
+		m.Fill(0, m.NumSegments(), 0xAB)
+		a := sp.Base() + vmem.Addr(tt.off)
+		m.ReimageSpan(a, tt.size, 0x07)
+		first := int(tt.off >> SegShift)
+		last := int((tt.off + tt.size - 1) >> SegShift)
+		for i := 0; i < m.NumSegments(); i++ {
+			want := uint8(0xAB)
+			if i >= first && i <= last {
+				want = 0x07
+			}
+			if got := m.LoadSeg(i); got != want {
+				t.Fatalf("off %d size %d: segment %d = %#x, want %#x",
+					tt.off, tt.size, i, got, want)
 			}
 		}
 	}
