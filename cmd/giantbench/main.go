@@ -11,6 +11,7 @@
 //	giantbench -exp metapath [-metapath-out BENCH_metapath.json]
 //	giantbench -exp tiers [-tiers-out BENCH_tiers.json] [-tiers-check]
 //	giantbench -exp shards [-shards-out BENCH_shards.json] [-shards-check]
+//	giantbench -exp federation [-federation-out BENCH_federation.json] [-federation-check]
 //	giantbench -exp canary [-canary-programs N] [-canary-plant NAME]
 //	giantbench -exp all
 //
@@ -43,6 +44,18 @@
 // the sharding determinism contract. -shards-check additionally fails
 // the run unless the highest shard count reaches -shards-min speedup
 // and residency is exactly proportional to dirtied pages (the CI gate).
+//
+// -exp federation measures the multi-process scale-out one level above
+// shards: the same tenant batch routed by a real federation front-end
+// (RemoteBackend) across 1/2/4 live backend servers, each itself a 2-way
+// ShardSet, billed on the virtual clock (makespan = the slowest
+// backend×shard lane's summed bill), plus the proxy hop's measured
+// wall-clock overhead and a kill-one-backend failover table, written to
+// BENCH_federation.json. The run fails if any session's outcome differs
+// between backend counts. -federation-check additionally fails the run
+// unless 2 backends reach -federation-min2 and 4 reach -federation-min4
+// speedup, and failover loses zero sessions while remapping only the
+// killed backend's tenants (the CI gate).
 //
 // -exp canary runs the differential validation campaign (the offline
 // twin of the service's always-on canary): N generator-wheel programs,
@@ -80,6 +93,7 @@ import (
 	"time"
 
 	"giantsan/internal/bench"
+	"giantsan/internal/bench/federation"
 	"giantsan/internal/bench/hotpath"
 	"giantsan/internal/bench/metapath"
 	"giantsan/internal/bench/shards"
@@ -87,7 +101,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, shards, canary, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, shards, federation, canary, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
@@ -104,6 +118,11 @@ func main() {
 	shardsTenants := flag.Int("shards-tenants", 0, "tenant population for the shards scaling batch; 0 = default")
 	shardsCheck := flag.Bool("shards-check", false, "fail unless the highest shard count reaches -shards-min speedup and forked-arena residency is proportional to dirtied pages")
 	shardsMin := flag.Float64("shards-min", 3.0, "minimum virtual-clock speedup -shards-check demands of the highest shard count")
+	federationOut := flag.String("federation-out", "BENCH_federation.json", "output path for the federation report")
+	federationTenants := flag.Int("federation-tenants", 0, "tenant population for the federation routed batch; 0 = default")
+	federationCheck := flag.Bool("federation-check", false, "fail unless routed makespan reaches -federation-min2/-federation-min4 speedups and failover is lossless with ~1/N remap")
+	federationMin2 := flag.Float64("federation-min2", 1.8, "minimum routed-batch speedup -federation-check demands at 2 backends")
+	federationMin4 := flag.Float64("federation-min4", 3.0, "minimum routed-batch speedup -federation-check demands at 4 backends")
 	canaryPrograms := flag.Int("canary-programs", 200, "generated programs for the canary campaign")
 	canaryPlant := flag.String("canary-plant", "", "inject a named fast-path mutation into the canary campaign")
 	canaryOut := flag.String("canary-out", "", "optional output path for the canary campaign JSON report")
@@ -327,6 +346,38 @@ func main() {
 		}
 		if *shardsCheck {
 			return shards.Check(rep, *shardsMin)
+		}
+		return nil
+	})
+	run("federation", func() error {
+		rep, err := federation.Run([]int{1, 2, 4}, *federationTenants)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*federationOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("Multi-process federation — routed makespan per backend count, proxy overhead, kill-one failover")
+			fmt.Println(federation.Render(rep))
+			fmt.Printf("(written to %s)\n", *federationOut)
+		}
+		if *federationCheck {
+			return federation.Check(rep, *federationMin2, *federationMin4)
 		}
 		return nil
 	})

@@ -12,6 +12,9 @@
 //	gsan -replay run.trace -san asan
 //	gsan -serve :8080 [-serve-shards N] [-serve-workers N] [-serve-queue N]
 //	     [-max-heap-bytes N] [-tier-budget-ns N] [-tier-window N] [-serve-canary]
+//	gsan -serve :8080 -federate http://b1:8081,http://b2:8082
+//	     [-federate-health-interval D] [-federate-connect-timeout D]
+//	     [-federate-timeout D] [-federate-inflight N]
 //	gsan -canary 200 [-canary-dir DIR] [-canary-plant NAME]
 //	gsan -list
 //
@@ -22,6 +25,18 @@
 // queue pressure or when the rolling mean virtual bill blows the budget,
 // and are only rejected with 429 when even the cheapest rung has no
 // queue slot.
+//
+// -federate turns serve mode into a federation front-end: the process
+// executes no sessions itself but routes each POST /sessions to one of
+// the listed backend gsan -serve processes by consistent hash of the
+// tenant — the same ring sharded deployments use in-process, one level
+// up. Backends are health-checked and ejected from the ring when down or
+// draining (~1/N of tenants remap, the rest stay put); a session whose
+// backend connection never completed is retried once on its re-ringed
+// placement, while accepted sessions are never retried. GET /metrics on
+// the front-end federates the backends' metrics: aggregate gsan_*
+// families that dashboards already understand plus per-backend
+// gsan_backend_* families that sum exactly to them.
 //
 // -canary N runs a one-shot differential validation campaign: N
 // generated programs, each recorded and replayed under the fast path,
@@ -43,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -87,6 +103,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	canaryPlant := fs.String("canary-plant", "", "inject a named fast-path mutation into the canary (test seam; also GSAN_CANARY_PLANT)")
 	canaryInterval := fs.Duration("canary-interval", 0, "serve mode: pacing between canary runs (0 = 25ms)")
 	canaryMaxQueue := fs.Int("canary-max-queue", 0, "serve mode: admit canary runs only while queue depth is at or below this")
+	federate := fs.String("federate", "", "serve mode: run as a federation front-end routing sessions to these comma-separated backend gsan -serve URLs instead of executing locally")
+	federateHealthInterval := fs.Duration("federate-health-interval", 0, "federation: pacing of the backend /healthz sweep (0 = 1s)")
+	federateConnectTimeout := fs.Duration("federate-connect-timeout", 0, "federation: backend dial timeout (0 = 2s)")
+	federateTimeout := fs.Duration("federate-timeout", 0, "federation: end-to-end timeout for one proxied session (0 = 5m)")
+	federateInflight := fs.Int("federate-inflight", 0, "federation: max concurrently proxied sessions per backend (0 = 256)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -119,6 +140,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	var fedCfg *service.FederationConfig
+	if *federate != "" {
+		switch {
+		case *serve == "":
+			fmt.Fprintln(stderr, "gsan: -federate requires -serve (the front-end is a serve-mode deployment)")
+			return 2
+		case *serveShards > 1:
+			fmt.Fprintln(stderr, "gsan: -federate and -serve-shards are mutually exclusive: the front-end executes nothing locally; shard the backends instead")
+			return 2
+		case *serveCanary:
+			fmt.Fprintln(stderr, "gsan: -federate and -serve-canary are mutually exclusive: the front-end has no engine to validate; run the canary on the backends")
+			return 2
+		}
+		cfg := service.FederationConfig{
+			HealthInterval: *federateHealthInterval,
+			ConnectTimeout: *federateConnectTimeout,
+			RequestTimeout: *federateTimeout,
+			MaxInflight:    *federateInflight,
+		}
+		for _, u := range strings.Split(*federate, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			// The URL doubles as the ring identity: two front-ends given the
+			// same backend list agree on every tenant's placement.
+			cfg.Members = append(cfg.Members, service.BackendMember{Name: u, URL: u})
+		}
+		if len(cfg.Members) == 0 {
+			fmt.Fprintln(stderr, "gsan: -federate needs at least one backend URL")
+			return 2
+		}
+		fedCfg = &cfg
+	}
 
 	switch {
 	case *list:
@@ -127,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case *serve != "":
-		return serveHTTP(*serve, *serveShards, service.Config{
+		return serveHTTP(*serve, *serveShards, fedCfg, service.Config{
 			Workers:        *serveWorkers,
 			QueueDepth:     *serveQueue,
 			MaxHeapBytes:   *maxHeapBytes,
@@ -205,13 +260,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 // drains: stop admitting, finish in-flight sessions, shut the listener
 // down cleanly. shards > 1 runs a consistent-hash sharded deployment
 // behind the same HTTP surface; the cfg capacity knobs are totals that
-// divide across shards.
-func serveHTTP(addr string, shards int, cfg service.Config, stdout, stderr io.Writer) int {
+// divide across shards. A non-nil fed runs the process as a federation
+// front-end instead: no local engines, sessions proxy to the backend
+// processes by the same consistent-hash routing.
+func serveHTTP(addr string, shards int, fed *service.FederationConfig, cfg service.Config, stdout, stderr io.Writer) int {
 	var handler *service.Server
-	if shards > 1 {
+	switch {
+	case fed != nil:
+		rb, err := service.NewRemoteBackend(*fed)
+		if err != nil {
+			fmt.Fprintln(stderr, "gsan:", err)
+			return 2
+		}
+		handler = service.NewFederatedServer(rb)
+		fmt.Fprintf(stdout, "gsan: federating over %d backends, sessions route by tenant\n", len(fed.Members))
+	case shards > 1:
 		handler = service.NewShardedServer(service.NewShardSet(shards, cfg))
 		fmt.Fprintf(stdout, "gsan: %d shards, sessions route by tenant\n", shards)
-	} else {
+	default:
 		handler = service.NewServer(service.New(cfg))
 	}
 	srv := &http.Server{Addr: addr, Handler: handler}
@@ -225,10 +291,17 @@ func serveHTTP(addr string, shards int, cfg service.Config, stdout, stderr io.Wr
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(stdout, "gsan: %v — draining\n", sig)
+		// Close first, concurrently with the listener shutdown: Close flips
+		// the backend to draining immediately, so /healthz answers 503
+		// "draining" while the socket is still up and routers (or a
+		// federation front-end's health sweep) can pre-drain this process
+		// instead of discovering the refusal per-session.
+		closed := make(chan struct{})
+		go func() { handler.Close(); close(closed) }()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
-		handler.Close()
+		<-closed
 		return 0
 	case err := <-errc:
 		fmt.Fprintln(stderr, "gsan:", err)

@@ -1,0 +1,55 @@
+package federation
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunInvariants drives a reduced routed batch end to end through real
+// httptest backends and holds it to the CI gate's invariants: work
+// conservation, makespan improvement, a complete placement histogram, and
+// a lossless ~1/N failover.
+func TestRunInvariants(t *testing.T) {
+	rep, err := Run([]int{1, 2}, 24)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := Check(rep, 1.2, 0); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	one, two := rep.Scaling[0], rep.Scaling[1]
+	if two.MakespanNs >= one.MakespanNs {
+		t.Fatalf("2-backend makespan %d not below 1-backend %d", two.MakespanNs, one.MakespanNs)
+	}
+	if one.ProxyMeanOverheadNs <= 0 {
+		t.Fatalf("proxy overhead %dns not positive — the hop is not free", one.ProxyMeanOverheadNs)
+	}
+	fr := rep.Failover
+	if fr == nil || fr.Backends != 2 {
+		t.Fatalf("failover table missing or at wrong count: %+v", fr)
+	}
+	if fr.SessionsLost != 0 || fr.Remapped != fr.PriorOnKilled {
+		t.Fatalf("failover not lossless/minimal: %+v", fr)
+	}
+}
+
+// TestRunIsDeterministic pins the artifact contract: every virtual-clock
+// field serializes byte-identically across runs. The proxy-overhead
+// column is wall time by definition and is zeroed before comparison.
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() string {
+		rep, err := Run([]int{1, 2}, 12)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for i := range rep.Scaling {
+			rep.Scaling[i].ProxyMeanOverheadNs = 0
+		}
+		j, _ := json.Marshal(rep)
+		return string(j)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("reports differ across identical runs:\n%s\n%s", a, b)
+	}
+}

@@ -5,15 +5,20 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 
 	"giantsan/internal/workload"
 )
 
-// Backend is the session surface the HTTP layer serves: a single Engine
-// or a ShardSet — the handlers cannot tell them apart.
+// Backend is the session surface the HTTP layer serves: a single Engine,
+// a ShardSet, or a federating RemoteBackend — the handlers cannot tell
+// them apart.
 type Backend interface {
 	Submit(Request) (*Response, error)
 	WriteMetrics(io.Writer)
+	// Draining reports whether a graceful drain has begun: /healthz turns
+	// 503 so routers stop sending sessions that would only be refused.
+	Draining() bool
 	// Close drains the backend: queued and running sessions finish, new
 	// ones are refused.
 	Close()
@@ -53,6 +58,11 @@ func NewServer(eng *Engine) *Server {
 // NewShardedServer wraps a shard set in the same HTTP surface: sessions
 // route by tenant key, /metrics adds the per-shard families.
 func NewShardedServer(set *ShardSet) *Server { return newServer(set) }
+
+// NewFederatedServer wraps a remote-backend router in the same HTTP
+// surface: sessions proxy to backend processes by tenant key, /metrics
+// federates the backends' scrapes.
+func NewFederatedServer(rb *RemoteBackend) *Server { return newServer(rb) }
 
 func newServer(b Backend) *Server {
 	s := &Server{backend: b, mux: http.NewServeMux()}
@@ -101,10 +111,18 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.backend.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Backoff guidance rides on the error: derived from queue depth and
+		// measured service time by the engine, or relayed verbatim from the
+		// overloaded backend by a federating front-end.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterIn(err, 1)))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNoBackends):
+		if secs := retryAfterIn(err, 0); secs > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.Is(err, ErrBackendUnavailable):
+		writeJSON(w, http.StatusBadGateway, errorBody{err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 	default:
@@ -125,6 +143,15 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ids)
 }
 
+// handleHealthz is the liveness/readiness probe. A draining backend
+// answers 503 with a "draining" body: the engine is still finishing
+// queued sessions but refuses new ones, so a green probe would keep a
+// router sending doomed sessions into ErrDraining. The federation health
+// checker treats the 503 as down and pre-drains the backend off the ring.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.backend.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterDerivation pins the backoff formula: queue backlog times
+// the measured mean wall service time, spread over the workers, rounded
+// up to whole seconds and clamped to [1, 60].
+func TestRetryAfterDerivation(t *testing.T) {
+	e := New(Config{Workers: 2, QueueDepth: 8})
+	defer e.Close()
+
+	// No history, empty queue: the nominal floor of 1s.
+	if got := e.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold retry-after = %d, want 1", got)
+	}
+
+	// Mean wall time 4s over 2 workers, empty queue: one session ahead
+	// of the retrier -> ceil(1 * 4s / 2) = 2s.
+	e.mu.Lock()
+	e.windowN = 4
+	e.wallSum = 4 * 4 * int64(time.Second)
+	e.mu.Unlock()
+	if got := e.retryAfterSeconds(); got != 2 {
+		t.Fatalf("retry-after with 4s mean = %d, want 2", got)
+	}
+
+	// Absurd history clamps at 60.
+	e.mu.Lock()
+	e.wallSum = 4 * 1000 * int64(time.Second)
+	e.mu.Unlock()
+	if got := e.retryAfterSeconds(); got != 60 {
+		t.Fatalf("retry-after clamp = %d, want 60", got)
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth is the regression test for the
+// hardcoded Retry-After: 1 — with a measured service time on the books
+// and a backlog in the queue, the engine's guidance must grow with the
+// backlog instead of telling every rejected client "1".
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	e := New(Config{Workers: 1, QueueDepth: 3, OnSessionStart: func(*Request) {
+		entered <- struct{}{}
+		<-gate
+	}})
+	defer e.Close()
+	defer close(gate)
+
+	// Seed the wall window: mean 2s per session, 1 worker.
+	e.mu.Lock()
+	e.windowN = 2
+	e.wallSum = 2 * 2 * int64(time.Second)
+	e.mu.Unlock()
+
+	req := Request{Workload: stressWorkload, Sanitizer: "native"}
+	results := make(chan error, 4)
+	submit := func() {
+		_, err := e.Submit(req)
+		results <- err
+	}
+	go submit() // occupies the worker
+	<-entered
+	for i := 0; i < 3; i++ {
+		go submit() // fills the queue
+	}
+	waitQueueDepth(e, 3)
+
+	_, err := e.Submit(req)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	// Backlog of 3 + the retrier, 2s mean, 1 worker: (3+1)*2s = 8s.
+	if got := retryAfterIn(err, 0); got != 8 {
+		t.Fatalf("retry-after with 3 queued = %d, want 8", got)
+	}
+}
+
+// TestHTTPRetryAfterHeaderDerived: the 429's Retry-After header carries
+// the engine's derived guidance, not a constant.
+func TestHTTPRetryAfterHeaderDerived(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	e := New(Config{Workers: 1, QueueDepth: 1, OnSessionStart: func(*Request) {
+		entered <- struct{}{}
+		<-gate
+	}})
+	srv := httptest.NewServer(NewServer(e))
+	defer e.Close()
+	defer srv.Close()
+	// Closed first (defers are LIFO) so the gated handlers finish before
+	// srv.Close waits on their connections.
+	defer close(gate)
+
+	e.mu.Lock()
+	e.windowN = 1
+	e.wallSum = 5 * int64(time.Second)
+	e.mu.Unlock()
+
+	body := `{"workload":"` + stressWorkload + `","sanitizer":"native"}`
+	// Fire-and-forget occupants: errors surface via waitQueueDepth below.
+	post := func() {
+		resp, err := http.Post(srv.URL+"/sessions", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	go post() // worker
+	<-entered
+	go post() // queue slot
+	waitQueueDepth(e, 1)
+
+	resp, _ := postJSON(t, srv.URL+"/sessions", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// Backlog of 1 + retrier at 5s mean on 1 worker: 10s.
+	if secs != 10 {
+		t.Fatalf("derived Retry-After = %d, want 10", secs)
+	}
+}
+
+// TestHealthzReportsDraining is the regression test for the green-while-
+// draining probe: once Close begins, /healthz must answer 503 with a
+// draining body so routers stop sending sessions the engine will refuse.
+func TestHealthzReportsDraining(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	e := New(Config{Workers: 1, OnSessionStart: func(*Request) {
+		entered <- struct{}{}
+		<-gate
+	}})
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain /healthz = %d, want 200", resp.StatusCode)
+	}
+
+	go e.Submit(Request{Workload: stressWorkload, Sanitizer: "native"})
+	<-entered
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	waitFor(t, "engine draining", func() bool { return e.Draining() })
+
+	resp, body := postJSON(t, srv.URL+"/sessions", `{"workload":"`+stressWorkload+`"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST /sessions = %d (%s), want 503", resp.StatusCode, body)
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", hresp.StatusCode)
+	}
+	buf := make([]byte, 256)
+	n, _ := hresp.Body.Read(buf)
+	if got := string(buf[:n]); !strings.Contains(got, "draining") {
+		t.Fatalf("draining /healthz body %q does not say draining", got)
+	}
+	close(gate)
+	<-closed
+}

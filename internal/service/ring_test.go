@@ -1,0 +1,69 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingEmptyAndSingle pins the degenerate cases the federation router
+// leans on: an empty ring routes nowhere (-1), a one-member ring routes
+// everything to it.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := buildRing(nil).lookup("anything"); got != -1 {
+		t.Fatalf("empty ring lookup = %d, want -1", got)
+	}
+	one := buildRing([]string{"only"})
+	for i := 0; i < 32; i++ {
+		if got := one.lookup(fmt.Sprintf("key-%d", i)); got != 0 {
+			t.Fatalf("single-member ring lookup = %d, want 0", got)
+		}
+	}
+}
+
+// TestRingMemberNameStability is the property federation's ejection and
+// re-ring depend on: removing one member moves ONLY the keys that were on
+// it — every other key keeps its placement, because vnode positions are
+// derived from member names, not indexes.
+func TestRingMemberNameStability(t *testing.T) {
+	full := []string{"b0", "b1", "b2", "b3"}
+	without := []string{"b0", "b1", "b3"} // b2 ejected; b3 keeps its name and index shifts
+	rFull := buildRing(full)
+	rLess := buildRing(without)
+
+	const keys = 1000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("tenant-%d", i)
+		beforeName := full[rFull.lookup(k)]
+		afterName := without[rLess.lookup(k)]
+		if beforeName == "b2" {
+			moved++
+			if afterName == "b2" {
+				t.Fatalf("key %s still on the removed member", k)
+			}
+			continue
+		}
+		if afterName != beforeName {
+			t.Fatalf("key %s moved %s -> %s though its member survived", k, beforeName, afterName)
+		}
+	}
+	// ~1/4 of the keys lived on the removed member.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("removal moved %d/%d keys, expected ~1/4", moved, keys)
+	}
+}
+
+// TestRingMatchesShardSet: the extracted ring and ShardSet.ShardFor agree
+// (the refactor must not have moved any tenant's shard placement).
+func TestRingMatchesShardSet(t *testing.T) {
+	set := NewShardSet(4, testShardConfig())
+	defer set.Close()
+	names := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	r := buildRing(names)
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("tenant-%d", i)
+		if set.ShardFor(k) != r.lookup(k) {
+			t.Fatalf("key %s: ShardSet says %d, ring says %d", k, set.ShardFor(k), r.lookup(k))
+		}
+	}
+}

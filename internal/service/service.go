@@ -33,7 +33,41 @@ var (
 	// ErrDraining is returned once Close has begun: the server finishes
 	// queued sessions but admits no new ones.
 	ErrDraining = errors.New("service: draining, not accepting sessions")
+	// ErrNoBackends is returned by a federating front-end when every
+	// configured backend is down or draining — there is nowhere to route.
+	ErrNoBackends = errors.New("service: no healthy backends")
+	// ErrBackendUnavailable is returned by a federating front-end when the
+	// routed backend failed mid-session (or returned garbage) and the
+	// session cannot be safely retried. The HTTP layer maps it to 502.
+	ErrBackendUnavailable = errors.New("service: backend unavailable")
 )
+
+// RetryAfterError decorates an admission error (ErrQueueFull, and on the
+// federated path ErrDraining) with backoff guidance in whole seconds: the
+// engine derives it from its current queue depth and measured per-session
+// service time, and a federating front-end propagates the backend's own
+// header instead of inventing one. errors.Is still matches the wrapped
+// sentinel.
+type RetryAfterError struct {
+	Err     error
+	Seconds int
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %ds)", e.Err, e.Seconds)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfterIn extracts backoff guidance from an admission error chain,
+// or returns def when none was attached.
+func retryAfterIn(err error, def int) int {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) && ra.Seconds > 0 {
+		return ra.Seconds
+	}
+	return def
+}
 
 // Session statuses.
 const (
@@ -111,6 +145,10 @@ type Response struct {
 	// Shard is the worker shard that executed the session (sharded
 	// deployments; always 0 on an unsharded engine).
 	Shard int `json:"shard"`
+	// Backend is the federation backend that executed the session, stamped
+	// by the federating front-end alongside the backend's own Shard. Empty
+	// when the serving process executed the session itself.
+	Backend string `json:"backend,omitempty"`
 	// VirtualNs is the session's deterministic virtual-clock bill;
 	// WallNs the wall time the run took on this machine.
 	VirtualNs  int64 `json:"virtual_ns"`
@@ -262,13 +300,17 @@ type Engine struct {
 	errKinds map[string]uint64
 	draining bool
 
-	// Rolling window of the last TierWindow completed sessions' virtual
-	// bills, a ring buffer: the budget controller downgrades against its
-	// mean.
-	window    []int64
-	windowSum int64
-	windowPos int
-	windowN   int
+	// Rolling windows of the last TierWindow completed sessions' virtual
+	// and wall bills, ring buffers sharing one cursor: the budget
+	// controller downgrades against the virtual mean, and Retry-After
+	// guidance is derived from the wall mean (virtual time is a portable
+	// cost model; a client backing off waits in wall time).
+	window     []int64
+	windowSum  int64
+	wallWindow []int64
+	wallSum    int64
+	windowPos  int
+	windowN    int
 }
 
 // New starts an engine per cfg. Callers must Close it to drain.
@@ -498,9 +540,18 @@ func (e *Engine) Submit(req Request) (*Response, error) {
 	ok := e.pool.TrySubmit(func() { done <- e.runSession(&req) })
 	if !ok {
 		e.m.rejected.Add(1)
-		return nil, ErrQueueFull
+		return nil, &RetryAfterError{Err: ErrQueueFull, Seconds: e.retryAfterSeconds()}
 	}
 	return <-done, nil
+}
+
+// Draining reports whether Close has begun: the engine finishes queued
+// sessions but admits no new ones. The health endpoint exposes it so
+// routers stop sending doomed sessions during the drain window.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
 }
 
 // QueueDepth returns the number of admitted sessions not yet executing.
@@ -574,15 +625,48 @@ func (e *Engine) finish(req *Request, resp *Response) {
 	}
 	if e.window == nil {
 		e.window = make([]int64, e.cfg.TierWindow)
+		e.wallWindow = make([]int64, e.cfg.TierWindow)
 	}
 	if e.windowN == len(e.window) {
 		e.windowSum -= e.window[e.windowPos]
+		e.wallSum -= e.wallWindow[e.windowPos]
 	} else {
 		e.windowN++
 	}
 	e.window[e.windowPos] = resp.VirtualNs
 	e.windowSum += resp.VirtualNs
+	e.wallWindow[e.windowPos] = resp.WallNs
+	e.wallSum += resp.WallNs
 	e.windowPos = (e.windowPos + 1) % len(e.window)
+}
+
+// retryAfterSeconds is the backoff the engine attaches to a queue-full
+// rejection: the time the current backlog needs to drain at the measured
+// mean wall-clock service time, spread over the workers — so federated
+// clients (and the front-end proxy relaying the header) back off in
+// proportion to how overloaded this process actually is, instead of
+// hammering a fixed one-second cadence. With no completed-session history
+// yet, a nominal per-session estimate stands in. Clamped to [1, 60]s.
+func (e *Engine) retryAfterSeconds() int {
+	depth := e.pool.QueueDepth()
+	e.mu.Lock()
+	var meanWallNs int64
+	if e.windowN > 0 {
+		meanWallNs = e.wallSum / int64(e.windowN)
+	}
+	e.mu.Unlock()
+	if meanWallNs <= 0 {
+		meanWallNs = int64(50 * time.Millisecond)
+	}
+	drainNs := (int64(depth) + 1) * meanWallNs / int64(e.cfg.Workers)
+	secs := int((drainNs + int64(time.Second) - 1) / int64(time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // recordErrors renders the session's error reports into resp and feeds

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -178,7 +179,7 @@ func TestQueueOverflowBackpressure(t *testing.T) {
 	go submit() // sits in the single queue slot
 	waitQueueDepth(e, 1)
 	// Queue full, worker busy: the third session must be rejected.
-	if _, err := e.Submit(req); err != ErrQueueFull {
+	if _, err := e.Submit(req); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
 	}
 	close(gate)

@@ -2,8 +2,6 @@ package service
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
 )
 
 // Horizontal scale-out: a ShardSet runs N fully independent Engines —
@@ -14,25 +12,16 @@ import (
 // cross-shard lock to contend on and a panicking or saturated tenant
 // population degrades only the shard it hashes to.
 //
-// Routing uses a consistent-hash ring (vnodesPerShard virtual nodes per
-// shard, FNV-64a) rather than hash-mod-N so that resizing a deployment
-// remaps only ~1/N of the tenant keys — warm arena shelves and queue
-// affinity survive a scale-out instead of being reshuffled wholesale.
-
-// vnodesPerShard is the ring density. 64 vnodes per shard keeps the
-// expected load imbalance between shards in the low single-digit percent.
-const vnodesPerShard = 64
-
-type ringEntry struct {
-	hash  uint64
-	shard int
-}
+// Routing uses the shared consistent-hash ring (see ring.go) rather than
+// hash-mod-N so that resizing a deployment remaps only ~1/N of the tenant
+// keys — warm arena shelves and queue affinity survive a scale-out
+// instead of being reshuffled wholesale.
 
 // ShardSet is a fixed set of independent engines behind one Submit
 // surface. It implements the same Backend contract as a single Engine.
 type ShardSet struct {
 	shards []*Engine
-	ring   []ringEntry
+	ring   ring
 }
 
 // NewShardSet starts n engines per cfg. The capacity knobs in cfg —
@@ -55,61 +44,22 @@ func NewShardSet(n int, cfg Config) *ShardSet {
 	} else {
 		per.ArenasPerKey = 0 // re-derive from the per-shard worker count
 	}
-	s := &ShardSet{shards: make([]*Engine, n), ring: make([]ringEntry, 0, n*vnodesPerShard)}
+	s := &ShardSet{shards: make([]*Engine, n)}
+	names := make([]string, n)
 	for i := range s.shards {
 		shardCfg := per
 		shardCfg.CanaryEnabled = cfg.CanaryEnabled && i == 0
 		s.shards[i] = New(shardCfg)
-		for v := 0; v < vnodesPerShard; v++ {
-			s.ring = append(s.ring, ringEntry{hash: hash64(fmt.Sprintf("shard-%d/vnode-%d", i, v)), shard: i})
-		}
+		names[i] = fmt.Sprintf("shard-%d", i)
 	}
-	sort.Slice(s.ring, func(a, b int) bool { return s.ring[a].hash < s.ring[b].hash })
+	s.ring = buildRing(names)
 	return s
-}
-
-func hash64(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return mix64(h.Sum64())
-}
-
-// mix64 is the splitmix64 finalizer. FNV-64a alone clusters on the
-// near-identical short strings used as vnode labels (ring positions end
-// up bunched, starving some shards); a final avalanche step spreads
-// them uniformly.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
-// routeKey is the session's placement identity: the tenant when given,
-// else the workload ID (all sessions of one workload share arena shape,
-// so colocating them maximizes warm hits), else the trace body.
-func routeKey(req *Request) string {
-	switch {
-	case req.Tenant != "":
-		return req.Tenant
-	case req.Workload != "":
-		return req.Workload
-	default:
-		return req.TraceB64
-	}
 }
 
 // ShardFor returns the shard index the given tenant/session key routes
 // to: the first ring vnode clockwise of the key's hash.
 func (s *ShardSet) ShardFor(key string) int {
-	h := hash64(key)
-	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].hash >= h })
-	if i == len(s.ring) {
-		i = 0 // wrap
-	}
-	return s.ring[i].shard
+	return s.ring.lookup(key)
 }
 
 // NumShards returns the shard count.
@@ -136,6 +86,17 @@ func (s *ShardSet) QueueDepth() int {
 		total += e.QueueDepth()
 	}
 	return total
+}
+
+// Draining reports whether the set has begun its graceful drain (the
+// shards drain together, so any draining shard means the set is).
+func (s *ShardSet) Draining() bool {
+	for _, e := range s.shards {
+		if e.Draining() {
+			return true
+		}
+	}
+	return false
 }
 
 // Close drains every shard (each finishes its queued and running
