@@ -13,6 +13,7 @@
 //	giantbench -exp shards [-shards-out BENCH_shards.json] [-shards-check]
 //	giantbench -exp federation [-federation-out BENCH_federation.json] [-federation-check]
 //	giantbench -exp canary [-canary-programs N] [-canary-plant NAME]
+//	giantbench -exp fuzz [-fuzz-out BENCH_fuzz.json] [-fuzz-check]
 //	giantbench -exp all
 //
 // -hotpath is shorthand for -exp hotpath: it microbenchmarks the checker
@@ -66,6 +67,15 @@
 // the run (exit 1) — that is the CI determinism/agreement gate. It is
 // not part of -exp all; ask for it by name.
 //
+// -exp fuzz runs the sanitizer-guided fuzzing benchmark: several guided
+// and blind greybox campaigns (internal/fuzz) with matching seeds and
+// budgets, comparing executions-to-detection per bug class. The report —
+// per-class blind/guided ratios and their geometric mean, all on the
+// virtual clock and byte-identical at any -parallel level — is written
+// to BENCH_fuzz.json. -fuzz-check fails the run unless the guided
+// engine detects every class in every campaign and the geomean ratio
+// reaches -fuzz-min (the CI gate).
+//
 // Engine flags:
 //
 //	-parallel N          worker count for the experiment matrix
@@ -94,6 +104,7 @@ import (
 
 	"giantsan/internal/bench"
 	"giantsan/internal/bench/federation"
+	"giantsan/internal/bench/fuzzbench"
 	"giantsan/internal/bench/hotpath"
 	"giantsan/internal/bench/metapath"
 	"giantsan/internal/bench/shards"
@@ -101,7 +112,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, shards, federation, canary, all")
+	exp := flag.String("exp", "all", "experiment: table2, ablation, fig10, fig11, redzone, quarantine, hotpath, metapath, tiers, shards, federation, canary, fuzz, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median)")
 	hotpathFlag := flag.Bool("hotpath", false, "shorthand for -exp hotpath")
@@ -123,6 +134,11 @@ func main() {
 	federationCheck := flag.Bool("federation-check", false, "fail unless routed makespan reaches -federation-min2/-federation-min4 speedups and failover is lossless with ~1/N remap")
 	federationMin2 := flag.Float64("federation-min2", 1.8, "minimum routed-batch speedup -federation-check demands at 2 backends")
 	federationMin4 := flag.Float64("federation-min4", 3.0, "minimum routed-batch speedup -federation-check demands at 4 backends")
+	fuzzOut := flag.String("fuzz-out", "BENCH_fuzz.json", "output path for the fuzzing benchmark report")
+	fuzzCampaigns := flag.Int("fuzz-campaigns", 0, "campaigns per mode for the fuzzing benchmark; 0 = default")
+	fuzzBudget := flag.Int("fuzz-budget", 0, "execution budget per fuzzing campaign; 0 = default")
+	fuzzCheck := flag.Bool("fuzz-check", false, "fail unless guided detects every bug class and the blind/guided geomean reaches -fuzz-min")
+	fuzzMin := flag.Float64("fuzz-min", 1.5, "minimum geomean executions-to-detection ratio -fuzz-check demands")
 	canaryPrograms := flag.Int("canary-programs", 200, "generated programs for the canary campaign")
 	canaryPlant := flag.String("canary-plant", "", "inject a named fast-path mutation into the canary campaign")
 	canaryOut := flag.String("canary-out", "", "optional output path for the canary campaign JSON report")
@@ -378,6 +394,38 @@ func main() {
 		}
 		if *federationCheck {
 			return federation.Check(rep, *federationMin2, *federationMin4)
+		}
+		return nil
+	})
+	run("fuzz", func() error {
+		rep, err := fuzzbench.Run(*fuzzCampaigns, *fuzzBudget, *par)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*fuzzOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("Sanitizer-guided fuzzing — executions-to-detection, guided vs blind campaigns")
+			fmt.Println(fuzzbench.Render(rep))
+			fmt.Printf("(written to %s)\n", *fuzzOut)
+		}
+		if *fuzzCheck {
+			return fuzzbench.Check(rep, *fuzzMin)
 		}
 		return nil
 	})

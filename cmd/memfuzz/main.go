@@ -1,154 +1,151 @@
-// Command memfuzz runs the differential fuzzer: randomly generated
-// programs with by-construction ground truth executed under every
-// sanitizer configuration, cross-checking three properties —
+// Command memfuzz is the front-end for the fuzzing engine (internal/fuzz).
+// It has two modes:
+//
+// Validation mode (the default) is the blind differential fuzzer:
+// randomly generated programs with by-construction ground truth executed
+// under every sanitizer configuration, cross-checking three properties —
 //
 //  1. no false positives on clean programs,
 //  2. no missed planted bugs on buggy programs,
 //  3. identical program semantics (checksums) under every profile.
 //
+// A sweep that never exercises a planted bug exits non-zero: detecting
+// nothing because there was nothing to detect proves nothing.
+//
+// Campaign mode (-campaign guided|blind) is the greybox engine: a
+// feedback-driven mutation loop over mini-IR programs that searches for
+// bugs instead of having them planted, steering on shadow-state coverage
+// and the sanitizer's near-miss gradient. Findings are confirmed under
+// the full differential matrix, ddmin-shrunk, and (with -artifacts)
+// persisted as traces `gsan -replay` accepts.
+//
 // Usage:
 //
-//	memfuzz -n 200            # 200 clean + 200 buggy seeds
-//	memfuzz -n 50 -seed 1234  # deterministic start seed
-//	memfuzz -parallel 4       # shard seeds across 4 workers
+//	memfuzz -n 200                  # validation: 200 clean + 200 buggy seeds
+//	memfuzz -campaign guided        # greybox campaign, default budget
+//	memfuzz -campaign blind -budget 2000
+//	memfuzz -campaign guided -corpus DIR -artifacts DIR -json
 //
-// Seeds are sharded across the worker pool (-parallel N, default
-// GOMAXPROCS); every seed builds its own runtimes and failures are
-// reported in seed order, so the output is identical at any -parallel
-// level.
+// Both modes shard work across -parallel workers and fold results in
+// schedule order, so output is identical at any -parallel level.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"giantsan/internal/instrument"
-	"giantsan/internal/interp"
-	"giantsan/internal/ir"
-	"giantsan/internal/parallel"
-	"giantsan/internal/progen"
-	"giantsan/internal/rt"
+	"giantsan/internal/fuzz"
 )
 
-var configs = []struct {
-	prof instrument.Profile
-	kind rt.Kind
-}{
-	{instrument.Native, rt.GiantSan},
-	{instrument.GiantSanProfile, rt.GiantSan},
-	{instrument.CacheOnly, rt.GiantSan},
-	{instrument.ElimOnly, rt.GiantSan},
-	{instrument.ASanProfile, rt.ASan},
-	{instrument.ASanMinusProfile, rt.ASanMinus},
-}
-
-func run(p *ir.Prog, ci int) (*interp.Result, error) {
-	cfg := configs[ci]
-	env := rt.New(rt.Config{Kind: cfg.kind, HeapBytes: 16 << 20})
-	ex, err := interp.Prepare(p, cfg.prof, env)
-	if err != nil {
-		return nil, err
-	}
-	return ex.Run(), nil
-}
-
-// cleanSeed checks one clean seed under every configuration and returns
-// the failure messages (nil when the seed passes).
-func cleanSeed(s int64) []string {
-	var fails []string
-	p := progen.Clean(s)
-	var base uint64
-	for ci := range configs {
-		res, err := run(p, ci)
-		if err != nil {
-			fails = append(fails, fmt.Sprintf("seed %d (%s): %v", s, configs[ci].prof.Name, err))
-			continue
-		}
-		if res.Errors.Total() != 0 {
-			fails = append(fails, fmt.Sprintf("seed %d: false positive under %s: %v",
-				s, configs[ci].prof.Name, res.Errors.Errors[0]))
-		}
-		if ci == 0 {
-			base = res.Checksum
-		} else if res.Checksum != base {
-			fails = append(fails, fmt.Sprintf("seed %d: semantics diverge under %s", s, configs[ci].prof.Name))
-		}
-	}
-	return fails
-}
-
-// buggySeed checks one buggy seed; planted reports whether the generator
-// actually emitted the bug site for this seed.
-func buggySeed(s int64) (fails []string, planted bool) {
-	p, ok := progen.Buggy(s)
-	if !ok {
-		return nil, false
-	}
-	for ci := 1; ci < len(configs); ci++ { // skip native
-		res, err := run(p, ci)
-		if err != nil {
-			fails = append(fails, fmt.Sprintf("seed %d (%s): %v", s, configs[ci].prof.Name, err))
-			continue
-		}
-		if res.Errors.Total() == 0 {
-			fails = append(fails, fmt.Sprintf("seed %d: %s missed the planted bug", s, configs[ci].prof.Name))
-		}
-	}
-	return fails, true
-}
-
 func main() {
-	n := flag.Int("n", 100, "seeds per mode")
-	seed := flag.Int64("seed", 0, "starting seed")
-	par := flag.Int("parallel", 0, "seed worker count; 0 = GOMAXPROCS")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	pool := parallel.Options{Workers: *par}
-	type verdict struct {
-		fails   []string
-		planted bool
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 100, "validation mode: seeds per mode")
+	seed := fs.Int64("seed", 0, "validation starting seed / campaign seed base")
+	par := fs.Int("parallel", 0, "worker count; 0 = GOMAXPROCS")
+	campaign := fs.String("campaign", "", "run a greybox campaign: guided or blind (empty = validation mode)")
+	budget := fs.Int("budget", 0, "campaign execution budget; 0 = default")
+	seeds := fs.Int("seeds", 0, "campaign founder seeds; 0 = default")
+	corpus := fs.String("corpus", "", "campaign corpus directory (loaded before, saved after)")
+	artifacts := fs.String("artifacts", "", "campaign finding artifact directory")
+	asJSON := fs.Bool("json", false, "campaign mode: emit the full report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	// Each seed is a shared-nothing work item (fresh runtimes per run);
-	// verdicts come back in seed order, so the report is deterministic at
-	// any worker count.
-	clean, err := parallel.Map(*n, pool, func(i int) (verdict, error) {
-		return verdict{fails: cleanSeed(*seed + int64(i))}, nil
-	})
+	switch *campaign {
+	case "":
+		return runValidate(*n, *seed, *par, stdout, stderr)
+	case "guided", "blind":
+		mode := fuzz.Guided
+		if *campaign == "blind" {
+			mode = fuzz.Blind
+		}
+		return runCampaign(fuzz.Config{
+			Mode:        mode,
+			SeedBase:    *seed,
+			Seeds:       *seeds,
+			Budget:      *budget,
+			Parallel:    *par,
+			CorpusDir:   *corpus,
+			ArtifactDir: *artifacts,
+		}, *asJSON, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "memfuzz: -campaign must be guided or blind, got %q\n", *campaign)
+		return 2
+	}
+}
+
+func runValidate(n int, seed int64, par int, stdout, stderr io.Writer) int {
+	rep, err := fuzz.Validate(n, seed, par)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "memfuzz: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "memfuzz: %v\n", err)
+		return 1
 	}
-	buggy, err := parallel.Map(*n, pool, func(i int) (verdict, error) {
-		fails, planted := buggySeed(*seed + int64(i))
-		return verdict{fails: fails, planted: planted}, nil
-	})
+	for _, f := range rep.Failures {
+		fmt.Fprintf(stderr, "FAIL: %s\n", f)
+	}
+	fmt.Fprintf(stdout, "memfuzz: %d clean seeds × %d configs, %d buggy seeds × %d configs: %d failures\n",
+		rep.Seeds, rep.Configs, rep.Planted, rep.Configs-1, len(rep.Failures))
+	if rep.Vacuous() {
+		fmt.Fprintf(stderr, "memfuzz: vacuous run: no planted bug was exercised (n=%d) — nothing was validated\n", n)
+		return 1
+	}
+	if len(rep.Failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runCampaign(cfg fuzz.Config, asJSON bool, stdout, stderr io.Writer) int {
+	rep, err := fuzz.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "memfuzz: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "memfuzz: %v\n", err)
+		return 1
 	}
-
-	failures, planted := 0, 0
-	for _, v := range clean {
-		for _, f := range v.fails {
-			failures++
-			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "memfuzz: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "memfuzz: %s campaign: %d executions, %d virtual ms, corpus %d, %d features, %d near-miss runs, %d noise\n",
+			rep.Mode, rep.Executions, rep.VirtualNs/1e6, rep.CorpusSize, rep.Features, rep.NearMissRuns, rep.Noise)
+		for _, cls := range fuzz.Classes() {
+			at := rep.Detected[cls]
+			if at == 0 {
+				fmt.Fprintf(stdout, "  %-16s not detected within budget\n", cls)
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-16s detected at execution %d\n", cls, at)
+		}
+		for _, f := range rep.Findings {
+			if f.ArtifactTrace != "" {
+				fmt.Fprintf(stdout, "  artifact: %s (%d events, shrunk from %d) %s\n",
+					f.ArtifactTrace, f.MinEvents, f.OriginalEvents, f.ArtifactMeta)
+			}
 		}
 	}
-	for _, v := range buggy {
-		if v.planted {
-			planted++
-		}
-		for _, f := range v.fails {
-			failures++
-			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+	// A campaign that finds nothing at all is a failed campaign: either
+	// the budget is far too small or the engine regressed.
+	found := 0
+	for _, at := range rep.Detected {
+		if at > 0 {
+			found++
 		}
 	}
-
-	fmt.Printf("memfuzz: %d clean seeds × %d configs, %d buggy seeds × %d configs: %d failures\n",
-		*n, len(configs), planted, len(configs)-1, failures)
-	if failures > 0 {
-		os.Exit(1)
+	if found == 0 {
+		fmt.Fprintf(stderr, "memfuzz: campaign detected no bugs in %d executions\n", rep.Executions)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestValidateVacuousExitsNonZero is the regression test for the vacuous
+// pass: a sweep that exercises no planted bug used to exit 0, silently
+// validating nothing.
+func TestValidateVacuousExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-n", "0")
+	if code == 0 {
+		t.Fatal("vacuous validation run (-n 0) exited 0")
+	}
+	if !strings.Contains(stderr, "vacuous") {
+		t.Fatalf("stderr does not explain the vacuous failure: %q", stderr)
+	}
+}
+
+func TestValidateSmoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-n", "20")
+	if code != 0 {
+		t.Fatalf("validation failed (%d): %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "0 failures") {
+		t.Fatalf("unexpected summary: %q", stdout)
+	}
+}
+
+func TestCampaignSmoke(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "artifacts")
+	code, stdout, stderr := runCLI(t,
+		"-campaign", "guided", "-budget", "4000", "-artifacts", art)
+	if code != 0 {
+		t.Fatalf("campaign failed (%d): %s%s", code, stdout, stderr)
+	}
+	for _, cls := range []string{"overflow", "underflow", "use-after-free", "double-free"} {
+		if !strings.Contains(stdout, cls+" ") && !strings.Contains(stdout, cls+"\n") {
+			t.Errorf("summary missing class %s: %q", cls, stdout)
+		}
+	}
+	ents, err := os.ReadDir(art)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no artifacts persisted: %v", err)
+	}
+}
+
+// TestCampaignJSONDeterministicAcrossParallel: the CLI-level determinism
+// contract — -parallel 1 and -parallel 8 emit byte-identical JSON.
+func TestCampaignJSONDeterministicAcrossParallel(t *testing.T) {
+	var outs []string
+	for _, par := range []string{"1", "8"} {
+		code, stdout, stderr := runCLI(t,
+			"-campaign", "guided", "-budget", "600", "-json", "-parallel", par)
+		if code != 0 {
+			t.Fatalf("-parallel %s failed (%d): %s", par, code, stderr)
+		}
+		outs = append(outs, stdout)
+	}
+	if outs[0] != outs[1] {
+		t.Fatal("-parallel 1 and -parallel 8 JSON reports differ")
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(outs[0]), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+}
+
+func TestBadCampaignFlag(t *testing.T) {
+	code, _, stderr := runCLI(t, "-campaign", "wat")
+	if code != 2 || !strings.Contains(stderr, "guided or blind") {
+		t.Fatalf("bad -campaign not rejected: code %d, stderr %q", code, stderr)
+	}
+}

@@ -260,6 +260,15 @@ func (a *Sanitizer) checkSegCode(v uint8, p vmem.Addr, n uint64, t report.Access
 	}
 	off := p & 7
 	if v < 8 && off+vmem.Addr(n) <= vmem.Addr(v) {
+		// Passing inside a partial segment: the access ended v−(off+n)
+		// bytes short of the first poisoned byte. This branch is the single
+		// near-miss funnel for both ASan checker paths — a partial code can
+		// only pass on the final touched segment (any earlier segment is
+		// checked with n extending to the segment end, so off+n is 8 and
+		// exceeds v) — which keeps the fast/reference Stats equality the
+		// differential suites demand.
+		a.stats.NearMisses++
+		a.stats.NearMissMask |= 1 << uint(vmem.Addr(v)-off-vmem.Addr(n))
 		return nil
 	}
 	// First bad byte: off if v is an error code, else v (the partial k).

@@ -1,0 +1,63 @@
+package asan
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// ASan's near-miss signal mirrors core's: a check that passes inside a
+// k-partial segment (code 1..7) records distance k − (off + n). The single
+// funnel is checkSegCode, so one layout exercises every caller.
+
+func TestNearMissDistancesASan(t *testing.T) {
+	mk := func(ref bool) (*Sanitizer, vmem.Addr) {
+		sp := vmem.NewSpace(1 << 16)
+		a := New(sp)
+		a.SetReference(ref)
+		base := sp.Base()
+		a.MarkAllocated(base, 13) // seg0 good, seg1 partial k=5
+		a.Poison(base+16, 16, san.RedzoneRight)
+		return a, base
+	}
+	cases := []struct {
+		name     string
+		p        vmem.Addr // offset from the object base
+		w        uint64
+		wantBit  uint64
+		wantMiss uint64
+	}{
+		{"flush", 12, 1, 1 << 0, 1},
+		{"short", 9, 2, 1 << 2, 1},
+		{"good-seg", 4, 4, 0, 0}, // ends at aligned boundary of a good segment
+		{"range", 8, 5, 1 << 0, 1},
+	}
+	for _, ref := range []bool{false, true} {
+		// Fresh sanitizer per case: the mask is monotonic, so a distance
+		// seen once would not reappear in a later delta.
+		for _, tc := range cases {
+			a, base := mk(ref)
+			before := *a.Stats()
+			if err := a.CheckAccess(base+tc.p, tc.w, report.Read); err != nil {
+				t.Fatalf("ref=%v %s: unexpected error %v", ref, tc.name, err)
+			}
+			d := a.Stats().Sub(&before)
+			if d.NearMisses != tc.wantMiss || d.NearMissMask != tc.wantBit {
+				t.Errorf("ref=%v %s: near-miss delta = (%d, %#x), want (%d, %#x)",
+					ref, tc.name, d.NearMisses, d.NearMissMask, tc.wantMiss, tc.wantBit)
+			}
+		}
+
+		// Crossing into the poisoned tail records nothing.
+		a, base := mk(ref)
+		before := *a.Stats()
+		if err := a.CheckAccess(base+12, 2, report.Read); err == nil {
+			t.Fatalf("ref=%v: overflow not caught", ref)
+		}
+		if d := a.Stats().Sub(&before); d.NearMisses != 0 || d.NearMissMask != 0 {
+			t.Errorf("ref=%v: faulting check recorded a near miss: %+v", ref, d)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package fuzzbench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall: one campaign pair end to end, plus the determinism the
+// committed BENCH_fuzz.json depends on — two runs at different worker
+// bounds serialize identically.
+func TestRunSmall(t *testing.T) {
+	rep, err := Run(1, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 4 || len(rep.Runs) != 2 {
+		t.Fatalf("classes=%d runs=%d, want 4 and 2", len(rep.Classes), len(rep.Runs))
+	}
+	for _, row := range rep.Classes {
+		if row.GuidedMean <= 0 || row.BlindMean <= 0 {
+			t.Errorf("%s: non-positive means: %+v", row.Class, row)
+		}
+	}
+	out := Render(rep)
+	if !strings.Contains(out, "geomean blind/guided") {
+		t.Errorf("render missing geomean line:\n%s", out)
+	}
+	rep8, err := Run(1, 1500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(rep)
+	b8, _ := json.Marshal(rep8)
+	if string(b1) != string(b8) {
+		t.Error("report differs between -parallel 1 and -parallel 8")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	rep := &Report{
+		Campaigns: 3, Budget: 1000, Geomean: 2.0,
+		Classes: []ClassRow{{Class: "overflow"}},
+	}
+	if err := Check(rep, 1.5); err != nil {
+		t.Errorf("passing report rejected: %v", err)
+	}
+	rep.Geomean = 1.2
+	if err := Check(rep, 1.5); err == nil {
+		t.Error("low geomean accepted")
+	}
+	rep.Geomean = 2.0
+	rep.Classes[0].GuidedCensored = 1
+	if err := Check(rep, 1.5); err == nil {
+		t.Error("guided censoring accepted")
+	}
+}

@@ -75,11 +75,17 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 		segEnd := (l &^ 7) + 8
 		headEnd := min(r, segEnd)
 		g.stats.ShadowLoads++
-		if v := sh.CodeAt(int((l - base) >> shadow.SegShift)); v > segLimitTab[headEnd&7] {
+		v := sh.CodeAt(int((l - base) >> shadow.SegShift))
+		if v > segLimitTab[headEnd&7] {
 			return g.fault(l, headEnd, t)
 		}
 		l = segEnd
 		if l >= r {
+			// The access ended inside the head segment; mirror the
+			// reference path's near-miss record. used is headEnd&7, which
+			// is non-zero here (an aligned headEnd means headEnd == segEnd
+			// and the range would continue), matching endOff in the ref.
+			g.nearMiss(v, int(headEnd&7))
 			return nil
 		}
 	}
@@ -109,8 +115,10 @@ func (g *Sanitizer) CheckRange(l, r vmem.Addr, t report.AccessType) *report.Erro
 	// threshold expression (at r ≡ 0 mod 8 it admits any non-error code,
 	// trusting the suffix-fold equality that was just verified).
 	g.stats.ShadowLoads++
-	if sh.CodeAt(int(ri)) > CodePartialBase-uint8(r&7) {
+	last := sh.CodeAt(int(ri))
+	if last > CodePartialBase-uint8(r&7) {
 		return g.fault(l, r, t)
 	}
+	g.nearMiss(last, int(((r-1)&7)+1))
 	return nil
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"giantsan/internal/report"
+	"giantsan/internal/san"
+	"giantsan/internal/vmem"
+)
+
+// The near-miss counters are the greybox fuzzer's redzone-proximity
+// signal: a passing check whose final touched segment is k-partial records
+// one NearMiss and sets bit (k − bytes used) of NearMissMask. These tests
+// pin the distance semantics on hand-built layouts and prove the fast and
+// reference paths record them identically (the broader differential
+// suites enforce the same via whole-Stats equality on random workloads).
+
+// nearMissEnv lays out one 13-byte object at the base of a fresh space:
+// segment 0 folded, segment 1 a 5-partial, 16 bytes of right redzone.
+func nearMissEnv() (*Sanitizer, vmem.Addr) {
+	sp := vmem.NewSpace(1 << 16)
+	g := New(sp)
+	base := sp.Base()
+	g.MarkAllocated(base, 13)
+	g.Poison(base+16, 16, san.RedzoneRight)
+	return g, base
+}
+
+func TestNearMissDistances(t *testing.T) {
+	cases := []struct {
+		name     string
+		l, r     vmem.Addr // offsets from the object base
+		wantBit  uint64    // expected new mask bits (0 = no near miss)
+		wantMiss uint64    // expected NearMisses delta
+	}{
+		// Ends on the last addressable byte: k=5, used=5, distance 0.
+		{"flush", 0, 13, 1 << 0, 1},
+		// Ends two bytes early: used=3, distance 2.
+		{"short", 0, 11, 1 << 2, 1},
+		// Unaligned head that is also the final segment: the head
+		// fix-up path records it (used = 11&7 = 3, distance 2).
+		{"head", 9, 11, 1 << 2, 1},
+		// Aligned end in a folded segment: no partial, no near miss,
+		// even though the next segment is partial.
+		{"aligned", 0, 8, 0, 0},
+		// Single in-bounds access far from the boundary, within the
+		// partial segment: used=1 at offset 8, k=5, distance 4.
+		{"deep", 8, 9, 1 << 4, 1},
+	}
+	for _, ref := range []bool{false, true} {
+		// Fresh sanitizer per case: NearMissMask is monotonic, so a
+		// distance observed once would vanish from later deltas.
+		for _, tc := range cases {
+			g, base := nearMissEnv()
+			g.SetReference(ref)
+			before := *g.Stats()
+			if err := g.CheckRange(base+tc.l, base+tc.r, report.Read); err != nil {
+				t.Fatalf("ref=%v %s: unexpected error %v", ref, tc.name, err)
+			}
+			d := g.Stats().Sub(&before)
+			if d.NearMisses != tc.wantMiss || d.NearMissMask != tc.wantBit {
+				t.Errorf("ref=%v %s: near-miss delta = (%d, %#x), want (%d, %#x)",
+					ref, tc.name, d.NearMisses, d.NearMissMask, tc.wantMiss, tc.wantBit)
+			}
+		}
+
+		// A faulting check past the boundary records no near miss.
+		g, base := nearMissEnv()
+		g.SetReference(ref)
+		before := *g.Stats()
+		if err := g.CheckRange(base, base+14, report.Read); err == nil {
+			t.Fatalf("ref=%v: overflow to 14 not caught", ref)
+		}
+		if d := g.Stats().Sub(&before); d.NearMisses != 0 || d.NearMissMask != 0 {
+			t.Errorf("ref=%v: faulting check recorded a near miss: %+v", ref, d)
+		}
+	}
+}
+
+// TestNearMissFastRefIdentical replays one mixed sequence under both
+// checker paths and demands identical counters, including the new fields.
+func TestNearMissFastRefIdentical(t *testing.T) {
+	run := func(ref bool) san.Stats {
+		g, base := nearMissEnv()
+		g.SetReference(ref)
+		for off := vmem.Addr(0); off < 16; off++ {
+			for w := uint64(1); w <= 8; w++ {
+				g.CheckRange(base+off, base+off+vmem.Addr(w), report.Read)
+				g.CheckAnchored(base, base+off, w, report.Write)
+			}
+		}
+		return *g.Stats()
+	}
+	fast, slow := run(false), run(true)
+	if fast != slow {
+		t.Fatalf("fast/ref stats diverge:\nfast %+v\nref  %+v", fast, slow)
+	}
+	if fast.NearMisses == 0 || fast.NearMissMask == 0 {
+		t.Fatalf("sweep over a partial boundary recorded no near misses: %+v", fast)
+	}
+}
+
+func TestMinNearMiss(t *testing.T) {
+	var s san.Stats
+	if _, ok := s.MinNearMiss(); ok {
+		t.Fatal("empty mask reported a near miss")
+	}
+	s.NearMissMask = 1<<4 | 1<<2
+	if d, ok := s.MinNearMiss(); !ok || d != 2 {
+		t.Fatalf("MinNearMiss = (%d, %v), want (2, true)", d, ok)
+	}
+}

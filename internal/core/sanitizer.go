@@ -256,6 +256,27 @@ func (g *Sanitizer) fault(l, r vmem.Addr, t report.AccessType) *report.Error {
 	return &report.Error{Kind: report.WildAccess, Access: t, Addr: l, Size: r - l, Detector: g.Name(), Context: "check/encoding disagreement"}
 }
 
+// nearMiss records the redzone-proximity feedback signal for a *passing*
+// check whose final touched segment turned out to be k-partial: the access
+// ended k−used bytes short of the first poisoned byte. code is the shadow
+// byte the check already loaded for its verdict (so recording costs no
+// metadata traffic) and used is how many bytes of that segment the access
+// consumed. Calls where the code is folded, or where used is 8 (an aligned
+// end cannot sit inside a partial prefix), are no-ops, which is what lets
+// both checker paths call this unconditionally after their final-segment
+// pass. Accesses that end flush against an 8-aligned object end are not
+// near misses under this definition — the final segment is folded there —
+// a deliberate trade: the signal stays free and both paths stay trivially
+// identical.
+func (g *Sanitizer) nearMiss(code uint8, used int) {
+	if IsPartial(code) {
+		if k := PartialK(code); k >= used {
+			g.stats.NearMisses++
+			g.stats.NearMissMask |= 1 << uint(k-used)
+		}
+	}
+}
+
 // nullOrWild classifies an access that left the simulated space.
 func (g *Sanitizer) nullOrWild(p vmem.Addr, w uint64, t report.AccessType) *report.Error {
 	g.stats.Errors++
@@ -295,7 +316,10 @@ func (g *Sanitizer) CheckRangeRef(l, r vmem.Addr, t report.AccessType) *report.E
 		case v <= CodeMaxFolded:
 			// whole segment good
 		case IsPartial(v) && PartialK(v) >= endOff:
-			// access stays within the partial prefix
+			// Access stays within the partial prefix. A partial code only
+			// passes when endOff < 8, i.e. the whole access ends in this
+			// segment, so this is a completed check grazing the boundary.
+			g.nearMiss(v, endOff)
 		default:
 			return g.fault(l, headEnd, t)
 		}
@@ -331,9 +355,11 @@ func (g *Sanitizer) CheckRangeRef(l, r vmem.Addr, t report.AccessType) *report.E
 	// Check the partial segment at the end (lines 12–14): the last touched
 	// segment must have at least (r mod 8) addressable bytes, or be fully
 	// good when r is aligned.
-	if last := g.load(r - 1); last > CodePartialBase-uint8(r&7) {
+	last := g.load(r - 1)
+	if last > CodePartialBase-uint8(r&7) {
 		return g.fault(l, r, t)
 	}
+	g.nearMiss(last, int(((r-1)&7)+1))
 	return nil
 }
 

@@ -1,0 +1,176 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"giantsan/internal/ir"
+)
+
+// Entry is one corpus member: a program plus the feedback that earned it
+// its place. Entries are immutable once admitted (mutators clone through
+// the serialized form), so workers may read them concurrently while the
+// scheduler appends.
+type Entry struct {
+	Prog *ir.Prog
+	// Hash is the FNV-64a of the canonical encoding — the dedup key and
+	// the on-disk file name.
+	Hash uint64
+	// Energy is the power-schedule weight: how often the scheduler picks
+	// this entry as a mutation parent. Seeds get a baseline; mutants earn
+	// more for novel coverage and redzone proximity.
+	Energy int64
+	// NearMissDist is the smallest redzone distance the entry's run
+	// observed (-1 when it never grazed a boundary). Guided scheduling
+	// biases boundary-pushing mutations on low-distance parents.
+	NearMissDist int
+	// NewFeatures is how many coverage features were first seen in this
+	// entry's run.
+	NewFeatures int
+	// Seed marks founder entries (progen seeds and loaded corpus files),
+	// which are never evicted: they anchor the population's diversity.
+	Seed bool
+}
+
+// Corpus is the deduplicated, bounded population of interesting programs.
+// All operations are deterministic: iteration is slice-ordered, eviction
+// breaks ties by lowest index, and nothing ranges over a map.
+type Corpus struct {
+	entries []*Entry
+	byHash  map[uint64]int
+	max     int
+}
+
+// NewCorpus builds an empty corpus bounded to max entries (0 means 256).
+func NewCorpus(max int) *Corpus {
+	if max <= 0 {
+		max = 256
+	}
+	return &Corpus{byHash: make(map[uint64]int), max: max}
+}
+
+// HashProg returns the corpus identity of p: FNV-64a over the canonical
+// encoding, so structurally equal programs collide exactly.
+func HashProg(p *ir.Prog) uint64 {
+	h := fnv.New64a()
+	h.Write(ir.Encode(p))
+	return h.Sum64()
+}
+
+// Len reports the population size.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// At returns the i-th entry in admission order.
+func (c *Corpus) At(i int) *Entry { return c.entries[i] }
+
+// Contains reports whether a structurally equal program is already
+// admitted.
+func (c *Corpus) Contains(p *ir.Prog) bool {
+	_, ok := c.byHash[HashProg(p)]
+	return ok
+}
+
+// Add admits e unless a structurally equal program is already present.
+// When the corpus is full it evicts the lowest-energy non-seed entry
+// (lowest index on ties); if every entry is a seed the add is refused.
+// Returns whether e was admitted.
+func (c *Corpus) Add(e *Entry) bool {
+	if e.Hash == 0 {
+		e.Hash = HashProg(e.Prog)
+	}
+	if _, dup := c.byHash[e.Hash]; dup {
+		return false
+	}
+	if len(c.entries) >= c.max {
+		victim := -1
+		for i, cur := range c.entries {
+			if cur.Seed {
+				continue
+			}
+			if victim == -1 || cur.Energy < c.entries[victim].Energy {
+				victim = i
+			}
+		}
+		if victim == -1 {
+			return false
+		}
+		delete(c.byHash, c.entries[victim].Hash)
+		c.entries = append(c.entries[:victim], c.entries[victim+1:]...)
+		// Reindex the tail the eviction shifted.
+		for i := victim; i < len(c.entries); i++ {
+			c.byHash[c.entries[i].Hash] = i
+		}
+	}
+	c.byHash[e.Hash] = len(c.entries)
+	c.entries = append(c.entries, e)
+	return true
+}
+
+// TotalEnergy sums the population's energy (the power schedule's
+// normalization constant).
+func (c *Corpus) TotalEnergy() int64 {
+	var t int64
+	for _, e := range c.entries {
+		t += e.Energy
+	}
+	return t
+}
+
+// PickWeighted returns the index of an entry sampled proportionally to
+// energy, driven by the caller's deterministic roll in [0, TotalEnergy).
+func (c *Corpus) PickWeighted(roll int64) int {
+	for i, e := range c.entries {
+		roll -= e.Energy
+		if roll < 0 {
+			return i
+		}
+	}
+	return len(c.entries) - 1
+}
+
+// LoadDir decodes every *.ir file under dir in lexical order and returns
+// the programs. Undecodable files are returned as errors with their path;
+// a missing directory is not an error (a fresh campaign's corpus just
+// does not exist yet).
+func LoadDir(dir string) ([]*ir.Prog, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.ir"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var progs []*ir.Prog
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus %s: %w", name, err)
+		}
+		p, err := ir.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus %s: %w", name, err)
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// SaveDir persists the corpus: one <hash>.ir file per entry, canonical
+// encoding. Existing files for the same hash are left alone (same hash ⇒
+// same bytes), so repeated campaigns grow the directory monotonically.
+func (c *Corpus) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range c.entries {
+		path := filepath.Join(dir, fmt.Sprintf("%016x.ir", e.Hash))
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		if err := os.WriteFile(path, ir.Encode(e.Prog), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"giantsan/internal/ir"
+	"giantsan/internal/progen"
+)
+
+func TestCorpusDedup(t *testing.T) {
+	c := NewCorpus(8)
+	p := progen.Clean(1)
+	if !c.Add(&Entry{Prog: p, Energy: 10}) {
+		t.Fatal("first add refused")
+	}
+	// A structurally equal clone must be rejected even via a different
+	// pointer.
+	if c.Add(&Entry{Prog: Clone(p), Energy: 99}) {
+		t.Fatal("structural duplicate admitted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if !c.Contains(p) {
+		t.Fatal("Contains(p) = false")
+	}
+}
+
+func TestCorpusEviction(t *testing.T) {
+	c := NewCorpus(3)
+	seed := progen.Clean(0)
+	c.Add(&Entry{Prog: seed, Energy: 1, Seed: true})
+	a, b := progen.Clean(1), progen.Clean(2)
+	c.Add(&Entry{Prog: a, Energy: 20})
+	c.Add(&Entry{Prog: b, Energy: 30})
+
+	// Full. A new entry evicts the lowest-energy non-seed (a), never the
+	// seed even though its energy is lowest.
+	d := progen.Clean(3)
+	if !c.Add(&Entry{Prog: d, Energy: 25}) {
+		t.Fatal("add to full corpus refused")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if c.Contains(a) {
+		t.Fatal("lowest-energy non-seed not evicted")
+	}
+	if !c.Contains(seed) || !c.Contains(b) || !c.Contains(d) {
+		t.Fatal("wrong entry evicted")
+	}
+	// byHash must be consistent after the reindex: every entry findable.
+	for i := 0; i < c.Len(); i++ {
+		if !c.Contains(c.At(i).Prog) {
+			t.Fatalf("entry %d lost from index after eviction", i)
+		}
+	}
+}
+
+func TestCorpusAllSeedsRefusesAdd(t *testing.T) {
+	c := NewCorpus(2)
+	c.Add(&Entry{Prog: progen.Clean(0), Energy: 1, Seed: true})
+	c.Add(&Entry{Prog: progen.Clean(1), Energy: 1, Seed: true})
+	if c.Add(&Entry{Prog: progen.Clean(2), Energy: 100}) {
+		t.Fatal("add evicted a seed")
+	}
+}
+
+func TestCorpusPickWeighted(t *testing.T) {
+	c := NewCorpus(8)
+	c.Add(&Entry{Prog: progen.Clean(0), Energy: 10})
+	c.Add(&Entry{Prog: progen.Clean(1), Energy: 30})
+	c.Add(&Entry{Prog: progen.Clean(2), Energy: 60})
+	if got := c.TotalEnergy(); got != 100 {
+		t.Fatalf("TotalEnergy = %d, want 100", got)
+	}
+	// Roll boundaries: [0,10) -> 0, [10,40) -> 1, [40,100) -> 2.
+	cases := []struct {
+		roll int64
+		want int
+	}{{0, 0}, {9, 0}, {10, 1}, {39, 1}, {40, 2}, {99, 2}}
+	for _, tc := range cases {
+		if got := c.PickWeighted(tc.roll); got != tc.want {
+			t.Errorf("PickWeighted(%d) = %d, want %d", tc.roll, got, tc.want)
+		}
+	}
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	c := NewCorpus(8)
+	var want []*ir.Prog
+	for s := int64(0); s < 4; s++ {
+		p := progen.Clean(s)
+		want = append(want, p)
+		c.Add(&Entry{Prog: p, Energy: 10})
+	}
+	if err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d programs, want %d", len(got), len(want))
+	}
+	// LoadDir orders by file name (hash), not admission; compare as sets
+	// of encodings.
+	enc := func(ps []*ir.Prog) map[string]bool {
+		m := map[string]bool{}
+		for _, p := range ps {
+			m[string(ir.Encode(p))] = true
+		}
+		return m
+	}
+	if !reflect.DeepEqual(enc(got), enc(want)) {
+		t.Fatal("loaded corpus differs from saved")
+	}
+	// Saving again is a no-op (same hashes), and loading a missing dir is
+	// not an error.
+	if err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := LoadDir(filepath.Join(dir, "missing"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing dir: got %d progs, err %v", len(empty), err)
+	}
+}

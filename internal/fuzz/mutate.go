@@ -1,0 +1,476 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"giantsan/internal/ir"
+	"giantsan/internal/progen"
+)
+
+// Mutation operators. All operators preserve program validity — every
+// mutant compiles under interp.Prepare, which the mutator validity suite
+// enforces — and none of them can see ground truth: offset nudges are
+// blind ±{1,2,4,8,16} deltas, not "set offset to size". Crossing a
+// boundary therefore requires either luck (the blind baseline) or the
+// guided engine's accumulated gradient: corpus entries that already graze
+// a redzone (near-miss feedback) plus sign-biased nudges.
+//
+// Spliced and inserted code is size-rescaled to the receiving buffer, so
+// structural mutations keep accesses in bounds by construction: spatial
+// bugs come only from the nudge gradient, and temporal bugs only from
+// free reordering/duplication — each bug class has one honest route.
+
+// Mutator ids, indexing Bias.Weights.
+const (
+	MutNudgeOff = iota
+	MutNudgeSize
+	MutInsertFrag
+	MutSplice
+	MutMoveFree
+	MutDupFree
+	MutDelete
+	NumMutators
+)
+
+// Bias is the feedback-derived mutation policy for one task. The blind
+// baseline always uses DefaultBias; the guided engine concentrates
+// weights on the operators relevant to still-undetected bug classes and
+// skews nudge direction toward the boundary its parent grazed.
+type Bias struct {
+	// Weights drives the weighted pick of the operator per mutation.
+	Weights [NumMutators]int
+	// SignPos is the percent chance an offset nudge is positive (toward
+	// the right redzone); 100−SignPos nudges probe the underflow side.
+	SignPos int
+	// ShrinkSize is the percent chance a size nudge shrinks the
+	// allocation (moving the boundary toward existing accesses).
+	ShrinkSize int
+}
+
+// DefaultBias is the neutral policy: uniform-ish weights, unbiased
+// directions. This is the blind baseline's fixed policy.
+func DefaultBias() Bias {
+	return Bias{
+		Weights:    [NumMutators]int{25, 15, 18, 18, 5, 2, 17},
+		SignPos:    50,
+		ShrinkSize: 50,
+	}
+}
+
+// nudge deltas, in bytes. Small on purpose: a single nudge rarely crosses
+// a redzone from a random in-bounds offset, so detection requires the
+// compounding the corpus provides.
+var nudgeDeltas = []int64{1, 2, 4, 8, 16}
+
+// Clone deep-copies a program through its canonical encoding, the one
+// copy routine that provably covers every node kind (the serialization
+// round-trip suite is its test).
+func Clone(p *ir.Prog) *ir.Prog {
+	c, err := ir.Decode(ir.Encode(p))
+	if err != nil {
+		panic("fuzz: clone round-trip failed: " + err.Error())
+	}
+	return c
+}
+
+// Mutate derives one mutant from parent: 1-3 operators applied under the
+// given bias, deterministically from seed. donor supplies splice material
+// and may be nil. The mutant's name is canonicalized so corpus identity
+// depends only on structure.
+func Mutate(parent, donor *ir.Prog, seed int64, bias Bias) *ir.Prog {
+	rng := rand.New(rand.NewSource(seed))
+	p := Clone(parent)
+	p.Name = "fuzz-mutant"
+	n := 1 + rng.Intn(3)
+	changed := false
+	for i := 0; i < n; i++ {
+		if applyOne(p, donor, rng, bias) {
+			changed = true
+		}
+	}
+	if !changed {
+		// Every operator declined (e.g. a program with no frees and no
+		// accesses). Fall back to inserting a fragment so the mutant is
+		// never a clone; if even that fails the duplicate is dropped by
+		// corpus dedup.
+		mInsertFrag(p, rng)
+	}
+	return p
+}
+
+func applyOne(p *ir.Prog, donor *ir.Prog, rng *rand.Rand, bias Bias) bool {
+	total := 0
+	for _, w := range bias.Weights {
+		total += w
+	}
+	roll := rng.Intn(total)
+	op := 0
+	for i, w := range bias.Weights {
+		roll -= w
+		if roll < 0 {
+			op = i
+			break
+		}
+	}
+	switch op {
+	case MutNudgeOff:
+		return mNudgeOff(p, rng, bias)
+	case MutNudgeSize:
+		return mNudgeSize(p, rng, bias)
+	case MutInsertFrag:
+		return mInsertFrag(p, rng)
+	case MutSplice:
+		return mSplice(p, donor, rng)
+	case MutMoveFree:
+		return mMoveFree(p, rng)
+	case MutDupFree:
+		return mDupFree(p, rng)
+	default:
+		return mDelete(p, rng)
+	}
+}
+
+// --- structural helpers ---
+
+// targets lists the program's heap buffers with statically known sizes
+// (top-level Mallocs with constant size), in declaration order.
+func targets(p *ir.Prog) []progen.Target {
+	var out []progen.Target
+	for _, s := range p.Body {
+		if m, ok := s.(*ir.Malloc); ok {
+			if sz, ok := m.Size.(ir.Const); ok {
+				out = append(out, progen.Target{Name: m.Dst, Size: int64(sz)})
+			}
+		}
+	}
+	return out
+}
+
+func sizeOf(ts []progen.Target, name string) (int64, bool) {
+	for _, t := range ts {
+		if t.Name == name {
+			return t.Size, true
+		}
+	}
+	return 0, false
+}
+
+// afterMallocs returns the body index just past the last top-level
+// Malloc: the earliest position where inserted code finds every buffer
+// allocated.
+func afterMallocs(p *ir.Prog) int {
+	last := 0
+	for i, s := range p.Body {
+		if _, ok := s.(*ir.Malloc); ok {
+			last = i + 1
+		}
+	}
+	return last
+}
+
+// firstFree returns the index of the first top-level Free (len(Body) when
+// none): the latest position where inserted accesses cannot touch a freed
+// buffer.
+func firstFree(p *ir.Prog) int {
+	for i, s := range p.Body {
+		if _, ok := s.(*ir.Free); ok {
+			return i
+		}
+	}
+	return len(p.Body)
+}
+
+func insertAt(body []ir.Stmt, pos int, stmts ...ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(body)+len(stmts))
+	out = append(out, body[:pos]...)
+	out = append(out, stmts...)
+	out = append(out, body[pos:]...)
+	return out
+}
+
+// --- operators ---
+
+// mNudgeOff shifts one access boundary-ward (or away) by a small delta:
+// a Load/Store constant offset, or a Memset/Memcpy constant length.
+func mNudgeOff(p *ir.Prog, rng *rand.Rand, bias Bias) bool {
+	var apply []func(int64)
+	ir.Walk(p.Body, func(s ir.Stmt) {
+		switch n := s.(type) {
+		case *ir.Load:
+			apply = append(apply, func(d int64) { n.Off += d })
+		case *ir.Store:
+			apply = append(apply, func(d int64) { n.Off += d })
+		case *ir.Memset:
+			if l, ok := n.Len.(ir.Const); ok {
+				apply = append(apply, func(d int64) { n.Len = ir.Const(max64(1, int64(l)+d)) })
+			}
+		case *ir.Memcpy:
+			if l, ok := n.Len.(ir.Const); ok {
+				apply = append(apply, func(d int64) { n.Len = ir.Const(max64(1, int64(l)+d)) })
+			}
+		}
+	})
+	if len(apply) == 0 {
+		return false
+	}
+	delta := nudgeDeltas[rng.Intn(len(nudgeDeltas))]
+	if rng.Intn(100) >= bias.SignPos {
+		delta = -delta
+	}
+	apply[rng.Intn(len(apply))](delta)
+	return true
+}
+
+// mNudgeSize resizes one allocation by a small delta, moving the
+// boundary relative to every access of that buffer.
+func mNudgeSize(p *ir.Prog, rng *rand.Rand, bias Bias) bool {
+	var mallocs []*ir.Malloc
+	for _, s := range p.Body {
+		if m, ok := s.(*ir.Malloc); ok {
+			if _, isConst := m.Size.(ir.Const); isConst {
+				mallocs = append(mallocs, m)
+			}
+		}
+	}
+	if len(mallocs) == 0 {
+		return false
+	}
+	m := mallocs[rng.Intn(len(mallocs))]
+	delta := nudgeDeltas[rng.Intn(len(nudgeDeltas))]
+	if rng.Intn(100) < bias.ShrinkSize {
+		delta = -delta
+	}
+	sz := int64(m.Size.(ir.Const)) + delta
+	if sz < 8 {
+		sz = 8
+	}
+	m.Size = ir.Const(sz)
+	return true
+}
+
+// mInsertFrag splices a freshly generated in-bounds fragment over the
+// program's own buffers into the live region (after every allocation,
+// before the first free).
+func mInsertFrag(p *ir.Prog, rng *rand.Rand) bool {
+	ts := targets(p)
+	if len(ts) == 0 {
+		return false
+	}
+	frag := progen.Fragment(rng.Int63(), ts, 1+rng.Intn(2))
+	if len(frag) == 0 {
+		return false
+	}
+	lo, hi := afterMallocs(p), firstFree(p)
+	if hi < lo {
+		hi = lo
+	}
+	pos := lo + rng.Intn(hi-lo+1)
+	p.Body = insertAt(p.Body, pos, frag...)
+	return true
+}
+
+// mSplice transplants a short run of top-level statements from a donor
+// program, retargeting accesses onto the host's buffers with offsets
+// rescaled to the receiving buffer's size (so the transplant is in
+// bounds by construction — splice adds structural, not spatial, novelty).
+func mSplice(p *ir.Prog, donor *ir.Prog, rng *rand.Rand) bool {
+	if donor == nil {
+		return false
+	}
+	hostTs := targets(p)
+	if len(hostTs) == 0 {
+		return false
+	}
+	dc := Clone(donor)
+	donorTs := targets(dc)
+	// Candidate top-level statements: everything but allocation and
+	// deallocation (those would change the host's heap discipline).
+	var cands []ir.Stmt
+	for _, s := range dc.Body {
+		switch s.(type) {
+		case *ir.Malloc, *ir.Free:
+		default:
+			cands = append(cands, s)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	start := rng.Intn(len(cands))
+	n := 1 + rng.Intn(3)
+	if start+n > len(cands) {
+		n = len(cands) - start
+	}
+	graft := cands[start : start+n]
+
+	// Retarget: each donor base name maps to one host buffer, chosen once
+	// per name in walk order (deterministic).
+	mapping := map[string]progen.Target{}
+	retarget := func(name string) progen.Target {
+		if t, ok := mapping[name]; ok {
+			return t
+		}
+		t := hostTs[rng.Intn(len(hostTs))]
+		mapping[name] = t
+		return t
+	}
+	rescaleOff := func(off int64, origBase string, host progen.Target, w int64) int64 {
+		if dsz, ok := sizeOf(donorTs, origBase); ok && dsz > 0 {
+			off = off * host.Size / dsz
+		}
+		if off < 0 {
+			off = 0
+		}
+		if off > host.Size-w {
+			off = max64(0, host.Size-w)
+		}
+		return off
+	}
+	ir.Walk(graft, func(s ir.Stmt) {
+		switch n := s.(type) {
+		case *ir.Load:
+			h := retarget(n.Base)
+			orig := n.Base
+			n.Base = h.Name
+			n.Off = rescaleOff(n.Off, orig, h, int64(n.Size))
+			switch idx := n.Idx.(type) {
+			case ir.Rand:
+				if c, ok := idx.N.(ir.Const); ok && n.Scale > 0 {
+					m := (h.Size - int64(n.Size) - n.Off) / n.Scale
+					if m < 1 {
+						n.Idx, n.Scale = nil, 0
+					} else {
+						n.Idx = ir.Rand{N: ir.Const(min64(int64(c), m))}
+					}
+				}
+			case ir.Var:
+				// Affine in a donor loop: drop the subscript rather than
+				// re-deriving a safe scale against an unknown trip count.
+				n.Idx, n.Scale = nil, 0
+			}
+		case *ir.Store:
+			h := retarget(n.Base)
+			orig := n.Base
+			n.Base = h.Name
+			n.Off = rescaleOff(n.Off, orig, h, int64(n.Size))
+			switch idx := n.Idx.(type) {
+			case ir.Rand:
+				if c, ok := idx.N.(ir.Const); ok && n.Scale > 0 {
+					m := (h.Size - int64(n.Size) - n.Off) / n.Scale
+					if m < 1 {
+						n.Idx, n.Scale = nil, 0
+					} else {
+						n.Idx = ir.Rand{N: ir.Const(min64(int64(c), m))}
+					}
+				}
+			case ir.Var:
+				n.Idx, n.Scale = nil, 0
+			}
+		case *ir.Memset:
+			h := retarget(n.Base)
+			n.Base = h.Name
+			if l, ok := n.Len.(ir.Const); ok {
+				n.Len = ir.Const(clamp64(int64(l), 1, h.Size))
+			}
+			n.Off = nil
+		case *ir.Memcpy:
+			hd, hs := retarget(n.Dst), retarget(n.Src)
+			n.Dst, n.Src = hd.Name, hs.Name
+			if l, ok := n.Len.(ir.Const); ok {
+				n.Len = ir.Const(clamp64(int64(l), 1, min64(hd.Size, hs.Size)))
+			}
+			n.DOff, n.SOff = nil, nil
+		}
+	})
+
+	lo, hi := afterMallocs(p), firstFree(p)
+	if hi < lo {
+		hi = lo
+	}
+	pos := lo + rng.Intn(hi-lo+1)
+	p.Body = insertAt(p.Body, pos, graft...)
+	return true
+}
+
+// mMoveFree relocates one top-level Free to a random position in the
+// post-allocation region — moving it before accesses of its buffer is
+// the use-after-free route.
+func mMoveFree(p *ir.Prog, rng *rand.Rand) bool {
+	var frees []int
+	for i, s := range p.Body {
+		if _, ok := s.(*ir.Free); ok {
+			frees = append(frees, i)
+		}
+	}
+	if len(frees) == 0 {
+		return false
+	}
+	idx := frees[rng.Intn(len(frees))]
+	f := p.Body[idx]
+	body := append(p.Body[:idx:idx], p.Body[idx+1:]...)
+	lo := afterMallocs(&ir.Prog{Body: body})
+	pos := lo + rng.Intn(len(body)-lo+1)
+	p.Body = insertAt(body, pos, f)
+	return true
+}
+
+// mDupFree duplicates one top-level Free later in the program — the
+// double-free route.
+func mDupFree(p *ir.Prog, rng *rand.Rand) bool {
+	var frees []int
+	for i, s := range p.Body {
+		if _, ok := s.(*ir.Free); ok {
+			frees = append(frees, i)
+		}
+	}
+	if len(frees) == 0 {
+		return false
+	}
+	idx := frees[rng.Intn(len(frees))]
+	f := p.Body[idx].(*ir.Free)
+	pos := idx + 1 + rng.Intn(len(p.Body)-idx)
+	p.Body = insertAt(p.Body, pos, &ir.Free{Ptr: f.Ptr})
+	return true
+}
+
+// mDelete removes one top-level statement that is not a Malloc (deleting
+// an allocation would strand every access of its buffer on a null base —
+// pure noise).
+func mDelete(p *ir.Prog, rng *rand.Rand) bool {
+	var cands []int
+	for i, s := range p.Body {
+		if _, ok := s.(*ir.Malloc); !ok {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	idx := cands[rng.Intn(len(cands))]
+	p.Body = append(p.Body[:idx:idx], p.Body[idx+1:]...)
+	return true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,142 @@
+package fuzz
+
+import (
+	"math/bits"
+
+	"giantsan/internal/interp"
+	"giantsan/internal/report"
+)
+
+// Coverage signature: each run is summarized as a set of small feature
+// ids, and a run is "novel" when it produces an id the campaign has not
+// seen. The features deliberately come from state the substrate already
+// measures — shadow-state counters, heap transitions, near-miss
+// distances, error kinds — so feedback costs nothing at execution time.
+//
+// Counter magnitudes are bucketed to their log2 so novelty means "an
+// order-of-magnitude change in behaviour", not noise in exact counts
+// (which are deterministic here, but would make every mutant trivially
+// novel and the corpus unbounded in spirit).
+
+// Feature classes. An id is class<<8 | bucket, so classes can never
+// collide as counters grow.
+const (
+	fAccesses = iota
+	fEliminated
+	fCached
+	fDirect
+	fFastOnly
+	fFullCheck
+	fPreChecks
+	fMallocs
+	fFrees
+	fLiveAtExit
+	fShadowLoads
+	fFastChecks
+	fSlowChecks
+	fCacheHits
+	fCacheRefills
+	fRangeChecks
+	fNearMiss // bucket = exact distance 0..6: the proximity gradient
+	fErrKind  // bucket = report.Kind
+)
+
+func logBucket(v uint64) uint64 {
+	return uint64(bits.Len64(v)) // 0 for 0, else 1+floor(log2 v)
+}
+
+func feat(class int, bucket uint64) uint64 {
+	return uint64(class)<<8 | (bucket & 0xff)
+}
+
+// signature extracts the run's feature set, in deterministic order.
+func signature(res *interp.Result) []uint64 {
+	s := &res.Stats
+	sn := &res.San
+	out := make([]uint64, 0, 24)
+	counters := [...]struct {
+		class int
+		v     uint64
+	}{
+		{fAccesses, s.Accesses},
+		{fEliminated, s.Eliminated},
+		{fCached, s.Cached},
+		{fDirect, s.Direct},
+		{fFastOnly, s.FastOnly},
+		{fFullCheck, s.FullCheck},
+		{fPreChecks, s.PreChecks},
+		{fMallocs, s.Mallocs},
+		{fFrees, s.Frees},
+		{fLiveAtExit, s.Mallocs - min64u(s.Mallocs, s.Frees)},
+		{fShadowLoads, sn.ShadowLoads},
+		{fFastChecks, sn.FastChecks},
+		{fSlowChecks, sn.SlowChecks},
+		{fCacheHits, sn.CacheHits},
+		{fCacheRefills, sn.CacheRefills},
+		{fRangeChecks, sn.RangeChecks},
+	}
+	for _, c := range counters {
+		out = append(out, feat(c.class, logBucket(c.v)))
+	}
+	// Near-miss distances: one feature per distance observed, so each
+	// step closer to a redzone is novel on first occurrence.
+	for d := 0; d < 8; d++ {
+		if sn.NearMissMask&(1<<uint(d)) != 0 {
+			out = append(out, feat(fNearMiss, uint64(d)))
+		}
+	}
+	// Error kinds present (retained errors; deterministic order).
+	seen := uint64(0)
+	for _, e := range res.Errors.Errors {
+		bit := uint64(1) << uint(e.Kind)
+		if seen&bit == 0 {
+			seen |= bit
+			out = append(out, feat(fErrKind, uint64(e.Kind)))
+		}
+	}
+	return out
+}
+
+func min64u(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Bug classes the campaign hunts, in canonical order: the progen.Buggy
+// planted classes the bench's executions-to-detection metric is defined
+// over.
+func Classes() []string {
+	return []string{"overflow", "underflow", "use-after-free", "double-free"}
+}
+
+// classOf maps a report kind to its campaign bug class. The empty string
+// marks noise: null and wild accesses come from mutants dereferencing
+// never-assigned variables, not from the memory-error classes the
+// campaign hunts, so they are counted but never confirmed.
+func classOf(k report.Kind) string {
+	switch k {
+	case report.HeapBufferOverflow, report.StackBufferOverflow, report.GlobalBufferOverflow:
+		return "overflow"
+	case report.HeapBufferUnderflow:
+		return "underflow"
+	case report.UseAfterFree, report.UseAfterReturn:
+		return "use-after-free"
+	case report.DoubleFree, report.InvalidFree:
+		return "double-free"
+	default:
+		return ""
+	}
+}
+
+// findingClass returns the class of the first non-noise error in the log,
+// or "" when the log holds only noise (or nothing).
+func findingClass(log *report.Log) string {
+	for _, e := range log.Errors {
+		if c := classOf(e.Kind); c != "" {
+			return c
+		}
+	}
+	return ""
+}

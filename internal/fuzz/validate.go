@@ -1,0 +1,146 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"giantsan/internal/instrument"
+	"giantsan/internal/interp"
+	"giantsan/internal/ir"
+	"giantsan/internal/parallel"
+	"giantsan/internal/progen"
+	"giantsan/internal/rt"
+)
+
+// Blind differential validation (the original memfuzz mode, relocated so
+// both the CLI and the test suite drive one implementation): randomly
+// generated programs with by-construction ground truth, executed under
+// every sanitizer configuration, cross-checking three properties —
+//
+//  1. no false positives on clean programs,
+//  2. no missed planted bugs on buggy programs,
+//  3. identical program semantics (checksums) under every profile.
+
+// validateConfigs is the full differential matrix, native leg included
+// (clean programs must checksum identically under every profile).
+var validateConfigs = []struct {
+	prof instrument.Profile
+	kind rt.Kind
+}{
+	{instrument.Native, rt.GiantSan},
+	{instrument.GiantSanProfile, rt.GiantSan},
+	{instrument.CacheOnly, rt.GiantSan},
+	{instrument.ElimOnly, rt.GiantSan},
+	{instrument.ASanProfile, rt.ASan},
+	{instrument.ASanMinusProfile, rt.ASanMinus},
+}
+
+// ValidateReport is the outcome of one validation sweep.
+type ValidateReport struct {
+	// Seeds is the per-mode seed count; Configs the matrix width.
+	Seeds   int
+	Configs int
+	// Planted counts buggy seeds whose generator actually emitted the bug
+	// site (progen.Buggy declines some seeds).
+	Planted int
+	// Failures holds one message per violated property, in seed order.
+	Failures []string
+}
+
+// Vacuous reports whether the sweep never exercised a planted bug — a
+// sweep that detects nothing because there was nothing to detect proves
+// nothing about the sanitizer and must not pass quietly. (This was a
+// real hole: the old memfuzz exited 0 when every buggy seed declined.)
+func (r *ValidateReport) Vacuous() bool {
+	return r.Planted == 0
+}
+
+func validateRun(p *ir.Prog, ci int, heapBytes uint64) (*interp.Result, error) {
+	cfg := validateConfigs[ci]
+	env := rt.New(rt.Config{Kind: cfg.kind, HeapBytes: heapBytes})
+	ex, err := interp.Prepare(p, cfg.prof, env)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(), nil
+}
+
+// validateClean checks one clean seed under every configuration.
+func validateClean(s int64, heapBytes uint64) []string {
+	var fails []string
+	p := progen.Clean(s)
+	var base uint64
+	for ci := range validateConfigs {
+		res, err := validateRun(p, ci, heapBytes)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("seed %d (%s): %v", s, validateConfigs[ci].prof.Name, err))
+			continue
+		}
+		if res.Errors.Total() != 0 {
+			fails = append(fails, fmt.Sprintf("seed %d: false positive under %s: %v",
+				s, validateConfigs[ci].prof.Name, res.Errors.Errors[0]))
+		}
+		if ci == 0 {
+			base = res.Checksum
+		} else if res.Checksum != base {
+			fails = append(fails, fmt.Sprintf("seed %d: semantics diverge under %s", s, validateConfigs[ci].prof.Name))
+		}
+	}
+	return fails
+}
+
+// validateBuggy checks one buggy seed; planted reports whether the
+// generator actually emitted the bug site for this seed.
+func validateBuggy(s int64, heapBytes uint64) (fails []string, planted bool) {
+	p, ok := progen.Buggy(s)
+	if !ok {
+		return nil, false
+	}
+	for ci := 1; ci < len(validateConfigs); ci++ { // skip native
+		res, err := validateRun(p, ci, heapBytes)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("seed %d (%s): %v", s, validateConfigs[ci].prof.Name, err))
+			continue
+		}
+		if res.Errors.Total() == 0 {
+			fails = append(fails, fmt.Sprintf("seed %d: %s missed the planted bug", s, validateConfigs[ci].prof.Name))
+		}
+	}
+	return fails, true
+}
+
+// Validate sweeps n clean and n buggy seeds starting at seed across the
+// worker pool. Seeds are shared-nothing work items (fresh runtimes per
+// run) folded in seed order, so the report is identical at any worker
+// count.
+func Validate(n int, seed int64, workers int) (*ValidateReport, error) {
+	const heapBytes = 16 << 20
+	pool := parallel.Options{Workers: workers}
+	type verdict struct {
+		fails   []string
+		planted bool
+	}
+	clean, err := parallel.Map(n, pool, func(i int) (verdict, error) {
+		return verdict{fails: validateClean(seed+int64(i), heapBytes)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	buggy, err := parallel.Map(n, pool, func(i int) (verdict, error) {
+		fails, planted := validateBuggy(seed+int64(i), heapBytes)
+		return verdict{fails: fails, planted: planted}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ValidateReport{Seeds: n, Configs: len(validateConfigs)}
+	for _, v := range clean {
+		rep.Failures = append(rep.Failures, v.fails...)
+	}
+	for _, v := range buggy {
+		if v.planted {
+			rep.Planted++
+		}
+		rep.Failures = append(rep.Failures, v.fails...)
+	}
+	return rep, nil
+}

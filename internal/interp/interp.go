@@ -50,6 +50,12 @@ type ExecStats struct {
 	SampledOut uint64
 	// Skipped counts memory operations suppressed after a failed check.
 	Skipped uint64
+	// Mallocs and Frees count dynamic heap transitions. The fuzzer's
+	// coverage signature folds them in so mutants that change the heap
+	// shape (an extra allocation reached, a free executed earlier) read
+	// as novel even when the access counters coincide.
+	Mallocs uint64
+	Frees   uint64
 }
 
 // Result is the outcome of one execution.

@@ -38,12 +38,14 @@ func (c *compiler) stmt(s ir.Stmt) (stmtFn, error) {
 			if err != nil {
 				panic(fmt.Sprintf("interp: malloc failed: %v", err))
 			}
+			s.stats.Mallocs++
 			s.vars[i] = int64(p)
 		}, nil
 
 	case *ir.Free:
 		i := c.slot(n.Ptr)
 		return func(s *state) {
+			s.stats.Frees++
 			if err := s.run.Free(vmem.Addr(s.vars[i])); err != nil {
 				s.errs.Record(err)
 			}

@@ -176,6 +176,39 @@ func BuggyKind(seed int64, kind BugKind) (*ir.Prog, bool) {
 	return p, true
 }
 
+// Target names one live buffer a generated fragment may access, with the
+// size that keeps every generated access in bounds.
+type Target struct {
+	Name string
+	Size int64
+}
+
+// Fragment deterministically generates n statements that access only the
+// given targets — insert material for the fuzzer's splice/insert mutators.
+// Every access is in bounds by construction relative to the sizes given,
+// loops and intrinsics included, and no statement allocates or frees, so
+// inserting the fragment at any point after the targets' allocations (and
+// before their frees) preserves the host program's cleanliness. Loop
+// variables are drawn from a seed-dependent id range so collisions with
+// host-program variables are unlikely; a collision is still valid IR (the
+// inner declaration just shadows), which the mutator validity suite
+// relies on. Returns nil when targets is empty or n is not positive.
+func Fragment(seed int64, targets []Target, n int) []ir.Stmt {
+	if len(targets) == 0 || n <= 0 {
+		return nil
+	}
+	g := &Gen{rng: rand.New(rand.NewSource(seed)), bugAt: -1, freed: map[string]bool{}}
+	for _, t := range targets {
+		size := t.Size
+		if size < 1 {
+			size = 1
+		}
+		g.bufs = append(g.bufs, buffer{name: t.Name, size: size, heap: true})
+	}
+	g.nextID = 100 + g.rng.Intn(900)
+	return g.block(n)
+}
+
 func (g *Gen) prog(name string) *ir.Prog {
 	g.bufs = nil
 	g.nextID = 0

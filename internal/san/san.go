@@ -10,6 +10,8 @@
 package san
 
 import (
+	"math/bits"
+
 	"giantsan/internal/report"
 	"giantsan/internal/vmem"
 )
@@ -200,6 +202,26 @@ type Stats struct {
 	RangeChecks uint64 `json:"range_checks"`
 	// Errors counts checks that reported a violation.
 	Errors uint64 `json:"errors"`
+	// NearMisses counts passing checks whose final touched segment was a
+	// partial segment — the access ended within 8 bytes of poisoned
+	// memory. It is the greybox fuzzer's redzone-proximity feedback
+	// signal: a run that grazes a boundary without crossing it is more
+	// promising mutation material than one that stays deep in bounds.
+	// The counter is recorded only on shadow codes the check already
+	// loaded, so the checkers pay no extra metadata traffic for it, and
+	// it is updated identically on the fast and reference paths (the
+	// differential suites compare whole Stats structs).
+	NearMisses uint64 `json:"near_misses"`
+	// NearMissMask records which near-miss distances occurred: bit d is
+	// set when some passing access ended exactly d bytes short of the
+	// first non-addressable byte of its final segment (d in 0..6; a
+	// distance of 0 means the access touched the very last addressable
+	// byte). A set-of-distances composes where a raw minimum could not:
+	// Add/Merge OR the masks, and Sub keeps the bits newly set in s —
+	// so the per-run delta the interpreter snapshots (after.Sub(before))
+	// reports exactly the distances that run produced. The minimum
+	// distance is the mask's lowest set bit.
+	NearMissMask uint64 `json:"near_miss_mask"`
 }
 
 // Add accumulates other into s.
@@ -213,6 +235,8 @@ func (s *Stats) Add(other *Stats) {
 	s.CacheRefills += other.CacheRefills
 	s.RangeChecks += other.RangeChecks
 	s.Errors += other.Errors
+	s.NearMisses += other.NearMisses
+	s.NearMissMask |= other.NearMissMask
 }
 
 // Reset zeroes all counters.
@@ -231,7 +255,21 @@ func (s *Stats) Sub(other *Stats) Stats {
 		CacheRefills: s.CacheRefills - other.CacheRefills,
 		RangeChecks:  s.RangeChecks - other.RangeChecks,
 		Errors:       s.Errors - other.Errors,
+		NearMisses:   s.NearMisses - other.NearMisses,
+		// The mask is a set, not a sum: the delta keeps the distances
+		// newly observed in s beyond what other had already seen.
+		NearMissMask: s.NearMissMask &^ other.NearMissMask,
 	}
+}
+
+// MinNearMiss returns the smallest distance in the near-miss mask — how
+// close, in bytes, the closest passing access came to poisoned memory —
+// and false when the snapshot recorded no near miss at all.
+func (s *Stats) MinNearMiss() (int, bool) {
+	if s.NearMissMask == 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(s.NearMissMask), true
 }
 
 // Clone returns an independent copy of the counters. Callers that hold a

@@ -14,7 +14,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	in := Stats{
 		Checks: 1, ShadowLoads: 2, ShadowStores: 3, FastChecks: 4,
 		SlowChecks: 5, CacheHits: 6, CacheRefills: 7, RangeChecks: 8,
-		Errors: 9,
+		Errors: 9, NearMisses: 10, NearMissMask: 11,
 	}
 	raw, err := json.Marshal(&in)
 	if err != nil {
@@ -30,6 +30,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		"checks": 1, "shadow_loads": 2, "shadow_stores": 3,
 		"fast_checks": 4, "slow_checks": 5, "cache_hits": 6,
 		"cache_refills": 7, "range_checks": 8, "errors": 9,
+		"near_misses": 10, "near_miss_mask": 11,
 	}
 	if !reflect.DeepEqual(keys, want) {
 		t.Fatalf("wire schema drifted:\ngot  %v\nwant %v", keys, want)
